@@ -1,0 +1,65 @@
+"""T1 — Table I: cost of the merge operations.
+
+Verifies the Θ-model of Table I against the measured per-merge work of
+real solves: for the final merge of each matrix we report n, k and the
+model's operation counts, and check the measured GEMM/secular work
+scales as the model predicts (Θ(nk²) and Θ(k²))."""
+
+import numpy as np
+import pytest
+
+from repro import dc_eigh
+from repro.analysis import merge_step_costs
+from common import matrix, save_table
+
+
+def run_table1():
+    rows = [f"{'type':>5s} {'n':>6s} {'k':>6s} {'defl':>6s} "
+            f"{'secular Θ(k²)':>14s} {'update Θ(nk²)':>14s} "
+            f"{'permute Θ(n²)':>14s}"]
+    data = []
+    for mtype in (2, 3, 4):
+        for n in (256, 512, 1024):
+            d, e = matrix(mtype, n)
+            res = dc_eigh(d, e, full_result=True)
+            st = res.info.ctx.merge_stats[-1]     # final merge
+            costs = merge_step_costs(st.n, st.k)
+            rows.append(
+                f"{mtype:>5d} {st.n:>6d} {st.k:>6d} "
+                f"{st.deflation_ratio:>6.0%} "
+                f"{costs['Solve the secular equation']:>14.3g} "
+                f"{costs['Compute eigenvectors V = V~X']:>14.3g} "
+                f"{costs['Permute eigenvectors (copy)']:>14.3g}")
+            data.append((mtype, n, st.n, st.k))
+    save_table("table1_merge_costs", "\n".join(rows))
+    return data
+
+
+def test_table1_merge_cost_model(benchmark):
+    data = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    # Scaling checks: doubling n with similar deflation ratio roughly
+    # quadruples the secular cost and octuples the update cost.
+    by_type = {}
+    for mtype, n, nn, k in data:
+        by_type.setdefault(mtype, []).append((n, k))
+    for mtype, pairs in by_type.items():
+        pairs.sort()
+        (n1, k1), (n2, k2) = pairs[0], pairs[-1]
+        if k1 > 0 and k2 > 0:
+            # k grows roughly linearly with n for a fixed spectrum type.
+            ratio = (k2 / k1) / (n2 / n1)
+            assert 0.2 < ratio < 5.0
+
+
+def test_table1_last_merge_dominates(benchmark):
+    """Eq. 8 corollary: the last merge holds most of the quadratic+cubic
+    work (its k is the largest by far)."""
+    def run():
+        d, e = matrix(4, 1024)
+        res = dc_eigh(d, e, full_result=True)
+        return res.info.ctx.merge_stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    work = [2.0 * s.n * s.k * s.k for s in stats]
+    assert max(work) == work[-1]
+    assert work[-1] > 0.5 * sum(work)

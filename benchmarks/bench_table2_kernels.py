@@ -1,0 +1,43 @@
+"""T2 — Table II: the kernel set of the execution traces.
+
+The paper's Table II lists the ten kernels whose colors appear in the
+DAG and trace figures.  This bench runs one simulated solve and checks
+the trace contains exactly those kernels (plus the cheap scale/partition
+wrappers), reporting the per-kernel time breakdown."""
+
+from repro import dc_eigh
+from common import matrix, save_table
+
+PAPER_TABLE2 = {
+    "UpdateVect", "ComputeVect", "LAED4", "ComputeLocalW",
+    "SortEigenvectors", "STEDC", "LASET", "Compute_deflation",
+    "PermuteV", "CopyBackDeflated",
+}
+
+#: Kernels of this implementation that the paper does not list
+#: separately (scale/partition wrappers appear as DAG nodes in Fig. 2;
+#: ApplyGivens is folded into the deflation step in the paper's text).
+#: ReduceW exists as a task but Table II folds it into ComputeLocalW's
+#: color in the paper's legend.
+EXTRA_KERNELS = {"ScaleT", "ScaleBack", "Partition", "ApplyGivens",
+                 "LevelBarrier", "ReduceW"}
+
+
+def test_table2_trace_kernels(benchmark):
+    def run():
+        d, e = matrix(4, 512)
+        res = dc_eigh(d, e, backend="simulated", full_result=True)
+        return res.trace
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    seen = set(trace.kernel_counts())
+    assert PAPER_TABLE2 <= seen
+    assert seen - PAPER_TABLE2 <= EXTRA_KERNELS
+
+    kt = trace.kernel_times()
+    total = sum(kt.values())
+    rows = [f"{'kernel':<20s} {'time %':>8s} {'tasks':>7s}"]
+    for k, v in sorted(kt.items(), key=lambda kv: -kv[1]):
+        rows.append(f"{k:<20s} {v / total:>8.1%} "
+                    f"{trace.kernel_counts()[k]:>7d}")
+    save_table("table2_kernels", "\n".join(rows))

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Matrices and solved task graphs are cached across benchmark modules so a
+full ``pytest benchmarks/ --benchmark-only`` run generates each input
+once.  Each benchmark writes its table/series to
+``benchmarks/results/<name>.txt`` (and prints it), so the regenerated
+paper data survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import numpy as np
+
+from repro.core import DCContext, DCOptions, submit_dc
+from repro.matrices import test_matrix
+from repro.runtime import Machine, SimulatedMachine, SequentialScheduler
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+#: The paper's virtual testbed: dual-socket 16-core Xeon-like machine.
+PAPER_MACHINE = Machine()
+
+
+def save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@functools.lru_cache(maxsize=64)
+def matrix(mtype: int, n: int, seed: int = 0):
+    """Cached Table III matrix."""
+    return test_matrix(mtype, n, seed=seed)
+
+
+class SolvedGraph:
+    """A D&C task graph executed once; re-simulatable for any core count.
+
+    The functional payload runs a single time (sequential execution);
+    afterwards every deflation-dependent task cost is known, so the
+    discrete-event machine can replay the schedule for any worker count
+    without re-running the numerics.
+    """
+
+    def __init__(self, d: np.ndarray, e: np.ndarray, opts: DCOptions):
+        self.ctx = DCContext(d, e, opts)
+        from repro.runtime import TaskGraph
+        self.graph = TaskGraph()
+        self.info = submit_dc(self.graph, self.ctx)
+        SequentialScheduler().run(self.graph)
+
+    def makespan(self, n_workers: int = 16,
+                 machine: Machine | None = None) -> float:
+        sim = SimulatedMachine(machine or PAPER_MACHINE,
+                               n_workers=n_workers, execute=False)
+        return sim.run(self.graph).makespan
+
+    def trace(self, n_workers: int = 16, machine: Machine | None = None):
+        sim = SimulatedMachine(machine or PAPER_MACHINE,
+                               n_workers=n_workers, execute=False)
+        return sim.run(self.graph)
+
+
+@functools.lru_cache(maxsize=64)
+def solved_graph(mtype: int, n: int, *, minpart: int = 128,
+                 nb: int | None = None, fork_join: bool = False,
+                 level_barrier: bool = False,
+                 extra_workspace: bool = True, seed: int = 0) -> SolvedGraph:
+    d, e = matrix(mtype, n, seed)
+    opts = DCOptions(minpart=minpart, nb=nb, fork_join=fork_join,
+                     level_barrier=level_barrier,
+                     extra_workspace=extra_workspace)
+    return SolvedGraph(d, e, opts)

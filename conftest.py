@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make `repro` importable from the source tree.
+
+The environment used for this reproduction has no network and no `wheel`
+package, so `pip install -e .` (PEP 660) cannot build an editable wheel.
+Prepending `src/` here is the offline equivalent; with a normal editable
+install this file is a harmless no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare the four tridiagonal eigensolvers of the paper's related work
+on Table III matrices: task-flow D&C, MRRR (MR3-SMP style), QR iteration
+and Bisection+Inverse-Iteration.
+
+Reports wall-clock time and the paper's two accuracy metrics per solver,
+illustrating the D&C-vs-MRRR trade-off (Figs. 8-9): D&C wins on clustered
+/ high-deflation spectra and is consistently 1-2 digits more accurate;
+MRRR can win when eigenvalues are well separated.
+
+Run:  python examples/compare_solvers.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import dc_eigh, mrrr_eigh
+from repro.analysis import orthogonality_error, tridiagonal_residual
+from repro.baselines import bisect_invit_eigh
+from repro.kernels import steqr
+from repro.matrices import matrix_description, test_matrix
+
+SOLVERS = {
+    "D&C (task-flow)": lambda d, e: dc_eigh(d, e),
+    "MRRR": lambda d, e: mrrr_eigh(d, e),
+    "QR iteration": lambda d, e: steqr(d, e),
+    "Bisection+InvIt": lambda d, e: bisect_invit_eigh(d, e),
+}
+
+
+def main() -> None:
+    n = 300
+    for mtype in (2, 4, 6, 11):
+        d, e = test_matrix(mtype, n)
+        print(f"\ntype {mtype:2d} (n={n}): {matrix_description(mtype)}")
+        print(f"  {'solver':<17s} {'time':>8s} {'orth':>9s} {'resid':>9s}")
+        for name, solver in SOLVERS.items():
+            t0 = time.perf_counter()
+            lam, V = solver(d, e)
+            dt = time.perf_counter() - t0
+            print(f"  {name:<17s} {dt:>7.2f}s "
+                  f"{orthogonality_error(V):>9.1e} "
+                  f"{tridiagonal_residual(d, e, lam, V):>9.1e}")
+
+
+if __name__ == "__main__":
+    main()

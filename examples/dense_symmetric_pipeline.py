@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The full dense symmetric eigensolver pipeline of the paper (Eqs. 1-3):
+
+    A = Q T Q'        (Householder tridiagonalization)
+    T = V L V'        (task-flow D&C tridiagonal eigensolver)
+    A = (QV) L (QV)'  (back-transformation)
+
+on a finite-element-style stiffness matrix — the kind of problem the
+paper's introduction motivates (automobile/structural computations).
+
+Run:  python examples/dense_symmetric_pipeline.py
+"""
+
+import numpy as np
+
+from repro import eigh
+from repro.analysis import orthogonality_error
+
+
+def stiffness_matrix(nx: int = 18, ny: int = 18) -> np.ndarray:
+    """Dense 2-D Laplacian stiffness matrix on an nx-by-ny grid (the
+    classical FE model problem), densified with a random low-rank
+    'loading' perturbation so it is not tridiagonal to begin with."""
+    n = nx * ny
+    A = np.zeros((n, n))
+    for j in range(ny):
+        for i in range(nx):
+            k = j * nx + i
+            A[k, k] = 4.0
+            if i + 1 < nx:
+                A[k, k + 1] = A[k + 1, k] = -1.0
+            if j + 1 < ny:
+                A[k, k + nx] = A[k + nx, k] = -1.0
+    rng = np.random.default_rng(0)
+    B = rng.normal(size=(n, 3)) * 0.05
+    A += B @ B.T
+    return A
+
+
+def main() -> None:
+    A = stiffness_matrix()
+    n = A.shape[0]
+    print(f"dense symmetric problem, n = {n}")
+
+    lam, V = eigh(A)
+
+    resid = np.max(np.abs(A @ V - V * lam[None, :]))
+    print(f"lowest modes        : {np.array2string(lam[:5], precision=5)}")
+    print(f"highest mode        : {lam[-1]:.5f}")
+    print(f"back-transformed orthogonality: {orthogonality_error(V):.2e}")
+    print(f"residual |AV - VL|  : {resid:.2e}")
+
+    ref = np.linalg.eigvalsh(A)
+    print(f"vs numpy eigvalsh   : {np.max(np.abs(lam - ref)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

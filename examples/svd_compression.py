@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""D&C SVD extension: low-rank compression of a sampled 2-D field.
+
+The paper's conclusion singles out the SVD as the natural next target
+for the task-flow D&C ("the SVD follows the same scheme ... by reducing
+the initial matrix to bidiagonal form and using a Divide and Conquer
+algorithm as bidiagonal solver").  This example runs that pipeline —
+Householder bidiagonalization, Golub-Kahan TGK tridiagonal, task-flow
+D&C, back-transformation — to compress a smooth field plus noise.
+
+Run:  python examples/svd_compression.py
+"""
+
+import numpy as np
+
+from repro import svd
+
+
+def sampled_field(m: int = 120, n: int = 90) -> np.ndarray:
+    """A smooth (low-rank) field with additive noise."""
+    x = np.linspace(0, 1, m)[:, None]
+    y = np.linspace(0, 1, n)[None, :]
+    field = (np.sin(3 * np.pi * x) @ np.cos(2 * np.pi * y)
+             + 0.5 * (x ** 2) @ (1 - y)
+             + 0.2 * np.exp(-((x - 0.3) ** 2)) @ np.exp(-((y - 0.7) ** 2)))
+    rng = np.random.default_rng(0)
+    return field + 0.01 * rng.normal(size=(m, n))
+
+
+def main() -> None:
+    A = sampled_field()
+    m, n = A.shape
+    U, s, Vt = svd(A)
+    print(f"field {m}x{n}; singular spectrum head: "
+          f"{np.array2string(s[:6], precision=3)}")
+
+    energy = np.cumsum(s ** 2) / np.sum(s ** 2)
+    for k in (1, 3, 5, 10):
+        Ak = (U[:, :k] * s[:k][None, :]) @ Vt[:k, :]
+        err = np.linalg.norm(A - Ak) / np.linalg.norm(A)
+        print(f"rank {k:>3d}: relative error {err:.4f}  "
+              f"(energy captured {energy[k - 1]:.1%})")
+
+    # Verify against the Eckart-Young optimum computed by NumPy.
+    s_ref = np.linalg.svd(A, compute_uv=False)
+    print(f"max |sigma - numpy|: {np.max(np.abs(s - s_ref)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Execution traces on the simulated 16-core machine (paper Figs. 3-4).
+
+Renders ASCII Gantt charts of the same solve under the paper's three
+optimization levels:
+
+  (a) fork/join: only the UpdateVect GEMMs are parallel (MKL model);
+  (b) + parallel merge kernels, but levels synchronized;
+  (c) full task-flow: independent subproblems overlap (the contribution);
+
+and, like Fig. 4, the trace of a ~100%-deflation matrix where the merge
+degenerates to memory-bound permutations.
+
+Run:  python examples/trace_visualization.py
+"""
+
+import numpy as np
+
+from repro import dc_eigh
+from repro.core import DCOptions
+from repro.matrices import test_matrix
+
+CONFIGS = [
+    ("(a) fork/join (parallel GEMM only)",
+     DCOptions(minpart=128, nb=64, fork_join=True, level_barrier=True)),
+    ("(b) parallel merge kernels, level barrier",
+     DCOptions(minpart=128, nb=64, level_barrier=True)),
+    ("(c) full task-flow (paper)",
+     DCOptions(minpart=128, nb=64)),
+]
+
+
+def show(title: str, d, e, opts: DCOptions) -> float:
+    res = dc_eigh(d, e, options=opts, backend="simulated", full_result=True)
+    print(f"\n=== {title} ===")
+    print(res.trace.gantt(width=96))
+    print(f"makespan {res.makespan * 1e3:.2f} ms, "
+          f"idle {res.trace.idle_fraction:.0%}")
+    return res.makespan
+
+
+def main() -> None:
+    n = 1200
+    print(f"type 4 matrix (low deflation), n={n}, simulated 16 cores")
+    d, e = test_matrix(4, n)
+    times = [show(t, d, e, o) for t, o in CONFIGS]
+    print(f"\nspeedup (a)->(c): {times[0] / times[2]:.1f}x "
+          f"(paper: 4.3s -> 1.5s per Fig. 3)")
+
+    print("\n" + "=" * 72)
+    print(f"type 2 matrix (~100% deflation), n={n} — permute-dominated "
+          f"(Fig. 4)")
+    d, e = test_matrix(2, n)
+    show("full task-flow", d, e, CONFIGS[2][1])
+
+
+if __name__ == "__main__":
+    main()

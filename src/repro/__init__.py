@@ -1,0 +1,41 @@
+"""repro — task-flow Divide & Conquer symmetric tridiagonal eigensolver.
+
+Reproduction of "Divide and Conquer Symmetric Tridiagonal Eigensolver for
+Multicore Architectures" (Pichon, Haidar, Faverge, Kurzak — IPDPS 2015).
+
+Top-level API
+-------------
+``dc_eigh(d, e)``
+    The paper's contribution: task-flow D&C tridiagonal eigensolver.
+``mrrr_eigh(d, e)``
+    MR3-SMP-style MRRR comparator.
+``eigh(A)``
+    Full dense symmetric eigensolver (tridiagonalization + D&C +
+    back-transformation).
+
+Subpackages: ``runtime`` (QUARK-like task runtime), ``kernels``
+(LAPACK-equivalent numerical kernels), ``core`` (D&C), ``mrrr``,
+``baselines``, ``matrices`` (Table III generators), ``analysis``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["dc_eigh", "mrrr_eigh", "eigh", "svd", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.runtime` cheap and avoid pulling the
+    # whole solver stack for runtime-only users.
+    if name == "dc_eigh":
+        from .core.solver import dc_eigh
+        return dc_eigh
+    if name == "eigh":
+        from .core.dense import eigh
+        return eigh
+    if name == "mrrr_eigh":
+        from .mrrr.solver import mrrr_eigh
+        return mrrr_eigh
+    if name == "svd":
+        from .core.svd import svd
+        return svd
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,51 @@
+"""Accuracy metrics of the paper's Fig. 9.
+
+``orthogonality_error``  — ‖I − VᵀV‖ / n          (Fig. 9(a))
+``tridiagonal_residual`` — ‖T − VΛVᵀ‖ / (‖T‖ n)   (Fig. 9(b))
+
+Norms are max-abs (the metrics are reported per element, divided by n,
+exactly like the LAPACK testing infrastructure the paper follows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.scaling import lanst
+
+__all__ = ["orthogonality_error", "tridiagonal_residual", "eigenvalue_error"]
+
+
+def orthogonality_error(V: np.ndarray) -> float:
+    """‖I − VᵀV‖_max / n."""
+    n = V.shape[1]
+    if n == 0:
+        return 0.0
+    g = V.T @ V
+    g[np.diag_indices(n)] -= 1.0
+    return float(np.max(np.abs(g)) / n)
+
+
+def tridiagonal_residual(d: np.ndarray, e: np.ndarray, lam: np.ndarray,
+                         V: np.ndarray) -> float:
+    """‖T − VΛVᵀ‖_max / (‖T‖ n), computed as ‖TV − VΛ‖ (V orthonormal)."""
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.shape[0]
+    tv = d[:, None] * V
+    if n > 1:
+        tv[:-1] += e[:, None] * V[1:]
+        tv[1:] += e[:, None] * V[:-1]
+    r = tv - V * lam[None, :]
+    nrm = lanst("M", d, e)
+    if nrm == 0.0:
+        nrm = 1.0
+    return float(np.max(np.abs(r)) / (nrm * n))
+
+
+def eigenvalue_error(lam: np.ndarray, lam_ref: np.ndarray) -> float:
+    """max |λ − λ_ref| / max(1, ‖λ_ref‖_inf)."""
+    lam = np.asarray(lam)
+    lam_ref = np.asarray(lam_ref)
+    scale = max(1.0, float(np.max(np.abs(lam_ref))))
+    return float(np.max(np.abs(lam - lam_ref)) / scale)

@@ -1,0 +1,13 @@
+"""Comparison baselines: MKL-LAPACK fork/join D&C, ScaLAPACK model, BI."""
+
+from .lapack_dc import lapack_dc_eigh, lapack_dc_makespan, LAPACK_DC_OPTIONS
+from .scalapack_dc import scalapack_dc_eigh, scalapack_dc_makespan, CommModel
+from .bisect_invit import bisect_invit_eigh
+from .jacobi import jacobi_eigh
+from .qdwh import qdwh_eigh, qdwh_polar
+
+__all__ = [
+    "lapack_dc_eigh", "lapack_dc_makespan", "LAPACK_DC_OPTIONS",
+    "scalapack_dc_eigh", "scalapack_dc_makespan", "CommModel",
+    "bisect_invit_eigh", "jacobi_eigh", "qdwh_eigh", "qdwh_polar",
+]

@@ -1,0 +1,71 @@
+"""Cyclic Jacobi eigenvalue algorithm (paper Sec. II related work).
+
+"The Jacobi eigenvalue algorithm is an iterative process to compute
+eigenpairs of a real symmetric matrix, but it is not that efficient."
+Included as the classical high-accuracy reference: Jacobi is backward
+stable with excellent relative accuracy, at O(n³) per sweep and many
+sweeps — the benchmark nobody beats on accuracy and nobody uses for
+speed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["jacobi_eigh"]
+
+_EPS = np.finfo(np.float64).eps
+
+
+def jacobi_eigh(a: np.ndarray, *, max_sweeps: int = 30,
+                tol: float | None = None
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """All eigenpairs of a dense symmetric matrix by cyclic Jacobi.
+
+    Returns ``(lam, V)`` ascending with ``a @ V = V @ diag(lam)``.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if n == 0:
+        raise ValueError("empty matrix")
+    scale = float(np.max(np.abs(a))) or 1.0
+    if not np.allclose(a, a.T, atol=1e-12 * scale):
+        raise ValueError("matrix must be symmetric")
+    if tol is None:
+        tol = 4.0 * _EPS * scale
+    V = np.eye(n)
+    for _sweep in range(max_sweeps):
+        off = np.sqrt(np.sum(np.tril(a, -1) ** 2))
+        if off <= tol * n:
+            break
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                apq = a[p, q]
+                if abs(apq) <= 0.25 * tol / n:
+                    continue
+                # Classical stable rotation angle.
+                theta = 0.5 * (a[q, q] - a[p, p]) / apq
+                t = math.copysign(1.0, theta) / (
+                    abs(theta) + math.hypot(theta, 1.0))
+                c = 1.0 / math.sqrt(t * t + 1.0)
+                s = t * c
+                # Apply the rotation to rows/columns p and q.
+                rp = a[p, :].copy()
+                rq = a[q, :].copy()
+                a[p, :] = c * rp - s * rq
+                a[q, :] = s * rp + c * rq
+                cp = a[:, p].copy()
+                cq = a[:, q].copy()
+                a[:, p] = c * cp - s * cq
+                a[:, q] = s * cp + c * cq
+                vp = V[:, p].copy()
+                vq = V[:, q].copy()
+                V[:, p] = c * vp - s * vq
+                V[:, q] = s * vp + c * vq
+    lam = np.diag(a).copy()
+    order = np.argsort(lam, kind="stable")
+    return lam[order], V[:, order]

@@ -1,0 +1,53 @@
+"""MKL-LAPACK-style D&C baseline (``dstedc`` with multithreaded BLAS).
+
+The paper's Fig. 6 compares against Intel MKL's LAPACK ``dstedc``, whose
+only parallelism is the fork/join multithreaded BLAS inside the merge
+GEMMs: subproblems are solved sequentially, levels are synchronized, and
+every non-GEMM kernel runs on one core.
+
+This baseline is the *same* numerical algorithm (bit-identical results)
+executed under that scheduling model: ``fork_join=True`` serializes all
+non-``UpdateVect`` tasks on a token and ``level_barrier=True`` syncs the
+tree levels.  On the simulator backend this reproduces the MKL timing
+shape; on the sequential/thread backends it checks numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.options import DCOptions
+from ..core.solver import dc_eigh
+from ..runtime.simulator import Machine
+
+__all__ = ["lapack_dc_eigh", "lapack_dc_makespan", "LAPACK_DC_OPTIONS"]
+
+#: Scheduling model of MKL LAPACK dstedc (Fig. 3(a)).
+LAPACK_DC_OPTIONS = DCOptions(fork_join=True, level_barrier=True)
+
+
+def lapack_dc_eigh(d: np.ndarray, e: np.ndarray, *,
+                   options: Optional[DCOptions] = None,
+                   backend: str = "sequential",
+                   n_workers: Optional[int] = None,
+                   machine: Optional[Machine] = None,
+                   full_result: bool = False):
+    """D&C under the fork/join (multithreaded-BLAS-only) model."""
+    opts = (options or DCOptions()).with_(fork_join=True,
+                                          level_barrier=True)
+    return dc_eigh(d, e, options=opts, backend=backend,
+                   n_workers=n_workers, machine=machine,
+                   full_result=full_result)
+
+
+def lapack_dc_makespan(d: np.ndarray, e: np.ndarray, *,
+                       n_workers: int = 16,
+                       machine: Optional[Machine] = None,
+                       options: Optional[DCOptions] = None) -> float:
+    """Simulated runtime of MKL-style dstedc on the virtual machine."""
+    res = lapack_dc_eigh(d, e, options=options, backend="simulated",
+                         n_workers=n_workers, machine=machine,
+                         full_result=True)
+    return res.makespan

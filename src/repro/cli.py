@@ -1,0 +1,164 @@
+"""Command-line interface: ``repro-eig``.
+
+Subcommands
+-----------
+``solve``  — solve a Table III matrix with a chosen solver and report
+             timing + the paper's accuracy metrics.
+``trace``  — run on the simulated 16-core machine and print the ASCII
+             execution trace (Figs. 3-4 style).
+``info``   — list the Table III matrix types.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-eig",
+        description="Task-flow D&C symmetric tridiagonal eigensolver "
+                    "(IPDPS 2015 reproduction)")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("solve", help="solve a test matrix")
+    s.add_argument("--type", type=int, default=4, choices=range(1, 16),
+                   metavar="1-15", help="Table III matrix type")
+    s.add_argument("--n", type=int, default=500, help="matrix size")
+    s.add_argument("--solver", default="dc",
+                   choices=["dc", "mrrr", "qr", "bi", "lapack-dc"],
+                   help="eigensolver")
+    s.add_argument("--backend", default="sequential",
+                   choices=["sequential", "threads", "simulated"],
+                   help="runtime backend (dc solvers only)")
+    s.add_argument("--workers", type=int, default=None,
+                   help="worker threads / virtual cores")
+    s.add_argument("--subset", default=None, metavar="I0:I1",
+                   help="eigenpair index range, e.g. 0:10 "
+                        "(dc and mrrr solvers)")
+    s.add_argument("--seed", type=int, default=0)
+
+    v = sub.add_parser("svd", help="D&C SVD of a random dense matrix")
+    v.add_argument("--m", type=int, default=200)
+    v.add_argument("--n", type=int, default=150)
+    v.add_argument("--seed", type=int, default=0)
+
+    w = sub.add_parser("workspace", help="memory trade-off report")
+    w.add_argument("--n", type=int, default=10000)
+
+    t = sub.add_parser("trace", help="simulated-machine execution trace")
+    t.add_argument("--type", type=int, default=4, choices=range(1, 16),
+                   metavar="1-15")
+    t.add_argument("--n", type=int, default=800)
+    t.add_argument("--cores", type=int, default=16)
+    t.add_argument("--config", default="full-taskflow",
+                   choices=["sequential", "parallel-gemm", "parallel-merge",
+                            "full-taskflow"],
+                   help="scheduler configuration (Fig. 3 variants)")
+    t.add_argument("--width", type=int, default=100, help="chart width")
+
+    sub.add_parser("info", help="list Table III matrix types")
+    return p
+
+
+def _cmd_solve(args) -> int:
+    from .analysis import orthogonality_error, tridiagonal_residual
+    from .matrices import matrix_description, test_matrix
+
+    d, e = test_matrix(args.type, args.n, seed=args.seed)
+    print(f"type {args.type} (n={args.n}): {matrix_description(args.type)}")
+    subset = None
+    if getattr(args, "subset", None):
+        lo, _, hi = args.subset.partition(":")
+        subset = np.arange(int(lo), int(hi) if hi else int(lo) + 1)
+    t0 = time.perf_counter()
+    if args.solver == "dc":
+        from . import dc_eigh
+        lam, V = dc_eigh(d, e, backend=args.backend,
+                         n_workers=args.workers, subset=subset)
+    elif args.solver == "lapack-dc":
+        from .baselines import lapack_dc_eigh
+        lam, V = lapack_dc_eigh(d, e, backend=args.backend,
+                                n_workers=args.workers)
+    elif args.solver == "mrrr":
+        from . import mrrr_eigh
+        lam, V = mrrr_eigh(d, e, subset=subset)
+    elif args.solver == "qr":
+        from .kernels import steqr
+        lam, V = steqr(d, e)
+    else:
+        from .baselines import bisect_invit_eigh
+        lam, V = bisect_invit_eigh(d, e)
+    dt = time.perf_counter() - t0
+    print(f"solver  : {args.solver}")
+    print(f"time    : {dt:.3f} s")
+    print(f"lambda  : [{lam[0]:.6g} .. {lam[-1]:.6g}]")
+    print(f"orth    : {orthogonality_error(V):.2e}")
+    print(f"resid   : {tridiagonal_residual(d, e, lam, V):.2e}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from . import dc_eigh
+    from .core.options import FIG3_CONFIGS
+    from .matrices import test_matrix
+
+    d, e = test_matrix(args.type, args.n)
+    opts = FIG3_CONFIGS[args.config].with_(minpart=max(32, args.n // 8))
+    res = dc_eigh(d, e, options=opts, backend="simulated",
+                  n_workers=args.cores, full_result=True)
+    print(res.trace.gantt(width=args.width))
+    print()
+    print(res.trace.summary())
+    return 0
+
+
+def _cmd_svd(args) -> int:
+    from .core.svd import svd
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.normal(size=(args.m, args.n))
+    t0 = time.perf_counter()
+    u, s, vt = svd(a)
+    dt = time.perf_counter() - t0
+    resid = np.max(np.abs((u * s[None, :]) @ vt - a))
+    print(f"dense SVD {args.m}x{args.n} via bidiagonal D&C (TGK)")
+    print(f"time    : {dt:.3f} s")
+    print(f"sigma   : [{s[-1]:.6g} .. {s[0]:.6g}]")
+    print(f"resid   : {resid:.2e}")
+    return 0
+
+
+def _cmd_workspace(args) -> int:
+    from .analysis import workspace_report
+    print(workspace_report(args.n))
+    return 0
+
+
+def _cmd_info() -> int:
+    from .matrices import MATRIX_TYPES, matrix_description
+    print("Table III test matrices (k = 1e6, ulp = DBL_EPSILON):")
+    for t in MATRIX_TYPES:
+        print(f"  {t:2d}  {matrix_description(t)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.cmd == "solve":
+        return _cmd_solve(args)
+    if args.cmd == "trace":
+        return _cmd_trace(args)
+    if args.cmd == "svd":
+        return _cmd_svd(args)
+    if args.cmd == "workspace":
+        return _cmd_workspace(args)
+    return _cmd_info()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The paper's contribution: the task-flow D&C tridiagonal eigensolver."""
+
+from .options import DCOptions, FIG3_CONFIGS
+from .tree import Node, build_tree
+from .merge import DCContext, MergeState, panel_ranges
+from .tasks import submit_dc, DCGraphInfo
+from .solver import dc_eigh, DCResult
+from .dense import eigh
+from .svd import svd, svd_bidiagonal, tgk_tridiagonal
+from .reduction import taskflow_tridiagonalize
+
+__all__ = [
+    "DCOptions", "FIG3_CONFIGS", "Node", "build_tree",
+    "DCContext", "MergeState", "panel_ranges",
+    "submit_dc", "DCGraphInfo", "dc_eigh", "DCResult", "eigh",
+    "svd", "svd_bidiagonal", "tgk_tridiagonal", "taskflow_tridiagonalize",
+]

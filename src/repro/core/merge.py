@@ -1,0 +1,344 @@
+"""Functional payloads of the D&C tasks (Algorithm 1 of the paper).
+
+Every function here is the *work* of one task of the merge DAG; the task
+graph wiring lives in :mod:`repro.core.tasks`.  All state flows through
+:class:`DCContext` (one per solve: the eigenvalue array ``D``, the
+eigenvector matrix ``V`` and the permute workspace ``Vws``) and
+:class:`MergeState` (one per merge node: deflation output, secular
+roots, stabilized ẑ and the secular eigenvector block X).
+
+Column storage convention: after a merge, the node's columns are stored
+in *compressed order* — the k non-deflated eigenpairs first (grouped by
+column type, ascending eigenvalue inside the grouping), then the n−k
+deflated ones.  The next level's deflation re-sorts globally, so no
+explicit inter-level permutation is required; a final
+``SortEigenvectors`` pass orders the root ascending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..kernels.deflation import DeflationResult, deflate, rotation_chains
+from ..kernels.scaling import ScaleInfo, scale_tridiagonal
+from ..kernels.secular import solve_secular
+from ..kernels.stabilize import (eigenvector_columns, local_w_product,
+                                 reduce_w)
+from ..kernels.steqr import steqr
+from .options import DCOptions
+from .tree import Node
+
+__all__ = ["DCContext", "MergeState", "panel_ranges"]
+
+
+def panel_ranges(n: int, nb: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into panels of width ``nb`` (at least one)."""
+    if n <= 0:
+        return [(0, 0)]
+    return [(p, min(p + nb, n)) for p in range(0, n, nb)]
+
+
+@dataclass
+class MergeStats:
+    """Per-merge record used for the Table I / complexity analyses."""
+
+    n: int = 0
+    k: int = 0
+    n_rotations: int = 0
+    secular_sweeps: int = 0
+
+    @property
+    def deflation_ratio(self) -> float:
+        return 1.0 - self.k / self.n if self.n else 0.0
+
+
+class DCContext:
+    """Shared state of one D&C solve."""
+
+    def __init__(self, d: np.ndarray, e: np.ndarray, opts: DCOptions,
+                 subset: np.ndarray | None = None):
+        d = np.asarray(d, dtype=np.float64)
+        e = np.asarray(e, dtype=np.float64)
+        n = d.shape[0]
+        if n == 0:
+            raise ValueError("empty matrix")
+        if e.shape[0] != max(0, n - 1):
+            raise ValueError("e must have length n-1")
+        self.n = n
+        self.opts = opts
+        self.d_in = d
+        self.e_in = e
+        # Subset computation ([6]-style): indices of wanted eigenpairs.
+        # All eigenvalues are always computed; only the final merge's
+        # eigenvector update and the output are restricted.
+        if subset is not None:
+            subset = np.unique(np.asarray(subset, dtype=np.intp))
+            if subset.size == 0 or subset[0] < 0 or subset[-1] >= n:
+                raise ValueError("subset indices out of range")
+        self.subset = subset
+        # Filled by the ScaleT / Partition tasks:
+        self.d: Optional[np.ndarray] = None
+        self.e: Optional[np.ndarray] = None
+        self.scale_info: Optional[ScaleInfo] = None
+        self.d_adj: Optional[np.ndarray] = None
+        # Global solve storage (column-major so column ops are contiguous).
+        self.D = np.zeros(n)
+        self.V = np.zeros((n, n), order="F")
+        self.Vws = np.zeros((n, n), order="F")
+        # Final ordering (SortEigenvectors / ScaleBack).
+        self.order: Optional[np.ndarray] = None
+        self.D_sorted: Optional[np.ndarray] = None
+        self.merge_stats: list[MergeStats] = []
+
+    # -- root-level tasks --------------------------------------------------
+    def t_scale(self) -> None:
+        self.d, self.e, self.scale_info = scale_tridiagonal(self.d_in,
+                                                            self.e_in)
+
+    def t_partition(self, tree: Node) -> None:
+        """Apply the −|β| corner corrections at every cut (Eq. 5)."""
+        d_adj = self.d.copy()
+        for m in tree.cut_points():
+            b = abs(self.e[m - 1])
+            d_adj[m - 1] -= b
+            d_adj[m] -= b
+        self.d_adj = d_adj
+
+    def t_laset(self, node: Node) -> None:
+        lo, hi = node.lo, node.hi
+        self.V[:, lo:hi] = 0.0
+        self.V[lo:hi, lo:hi][np.diag_indices(hi - lo)] = 1.0
+
+    def t_stedc_leaf(self, node: Node) -> None:
+        lo, hi = node.lo, node.hi
+        lam, Vl = steqr(self.d_adj[lo:hi], self.e[lo:hi - 1])
+        self.D[lo:hi] = lam
+        self.V[lo:hi, lo:hi] = Vl
+
+    def t_sort_join(self) -> None:
+        order = np.argsort(self.D, kind="stable")
+        if self.subset is not None:
+            order = order[self.subset]
+        self.order = order
+        self.D_sorted = self.D[order]
+
+    def t_sort_panel(self, p0: int, p1: int) -> None:
+        p1 = min(p1, self.order.shape[0])
+        if p0 < p1:
+            self.Vws[:, p0:p1] = self.V[:, self.order[p0:p1]]
+
+    def t_scale_back(self) -> None:
+        self.scale_info.unscale_eigenvalues(self.D_sorted)
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.subset is not None:
+            return self.D_sorted, self.Vws[:, :self.subset.shape[0]]
+        return self.D_sorted, self.Vws
+
+
+class MergeState:
+    """Per-merge-node state, produced/consumed by the eight kernels."""
+
+    def __init__(self, ctx: DCContext, node: Node):
+        self.ctx = ctx
+        self.node = node
+        self.lo, self.hi = node.lo, node.hi
+        self.mid = node.mid
+        self.defl: Optional[DeflationResult] = None
+        self.chains: list = []
+        self.orig: Optional[np.ndarray] = None
+        self.tau: Optional[np.ndarray] = None
+        self.lam: Optional[np.ndarray] = None
+        self.zhat: Optional[np.ndarray] = None
+        self.wparts: dict[int, np.ndarray] = {}
+        self.X: Optional[np.ndarray] = None
+        self.wanted_stored: Optional[np.ndarray] = None
+        self.stats = MergeStats()
+
+    # convenience ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def n1(self) -> int:
+        return self.mid - self.lo
+
+    @property
+    def k(self) -> int:
+        return self.defl.k
+
+    def clip_roots(self, p0: int, p1: int) -> np.ndarray:
+        """Root indices of panel [p0, p1) — empty once past k (the
+        paper's deflation-independent DAG: surplus tasks become no-ops)."""
+        return np.arange(p0, min(p1, self.k), dtype=np.intp)
+
+    # -- kernels ------------------------------------------------------------
+    def t_compute_deflation(self) -> None:
+        ctx = self.ctx
+        lo, mid, hi = self.lo, self.mid, self.hi
+        beta = float(ctx.e[mid - 1])
+        dvals = ctx.D[lo:hi]
+        z = np.concatenate([ctx.V[mid - 1, lo:mid], ctx.V[mid, mid:hi]])
+        self.defl = deflate(dvals, z, beta, mid - lo,
+                            tol_factor=ctx.opts.deflation_tol_factor)
+        self.chains = rotation_chains(self.defl.rotations)
+        k = self.defl.k
+        self.orig = np.zeros(k, dtype=np.intp)
+        self.tau = np.zeros(k)
+        self.lam = np.zeros(k)
+        self.X = np.zeros((k, k), order="F") if k else np.zeros((0, 0))
+        self.stats.n = self.n
+        self.stats.k = k
+        self.stats.n_rotations = len(self.defl.rotations)
+        ctx.merge_stats.append(self.stats)
+
+    def t_apply_givens(self, group: int, n_groups: int) -> None:
+        """Apply the deflating rotations of chains ``group mod n_groups``.
+
+        Chains touch disjoint columns, so groups can run concurrently
+        (GATHERV on the child eigenvector blocks)."""
+        ctx = self.ctx
+        lo, hi = self.lo, self.hi
+        for ci in range(group, len(self.chains), n_groups):
+            for r in self.chains[ci]:
+                qi = ctx.V[lo:hi, lo + r.i]
+                qj = ctx.V[lo:hi, lo + r.j]
+                tmp = r.c * qi + r.s * qj
+                qj *= r.c
+                qj -= r.s * qi
+                qi[...] = tmp
+
+    def _dest_rows(self, dest: int) -> slice:
+        """Row range holding the nonzeros of compressed column ``dest``."""
+        k1, k2, _ = self.defl.ctot
+        if dest < k1:
+            return slice(self.lo, self.mid)        # type 1: top block only
+        if dest < k1 + k2 or dest >= self.k:
+            return slice(self.lo, self.hi)         # dense / deflated
+        return slice(self.mid, self.hi)            # type 3: bottom block
+
+    def t_permute_panel(self, p0: int, p1: int) -> None:
+        """Copy columns [p0, p1) into the workspace in compressed order."""
+        ctx = self.ctx
+        perm = self.defl.perm
+        p1 = min(p1, self.n)
+        for dest in range(p0, p1):
+            rows = self._dest_rows(dest)
+            ctx.Vws[rows, self.lo + dest] = ctx.V[rows, self.lo + perm[dest]]
+
+    def permute_rows_moved(self, p0: int, p1: int) -> float:
+        """Doubles moved by t_permute_panel (for the cost model)."""
+        total = 0.0
+        for dest in range(p0, min(p1, self.n)):
+            r = self._dest_rows(dest)
+            total += r.stop - r.start
+        return total
+
+    def t_laed4_panel(self, p0: int, p1: int) -> None:
+        roots = self.clip_roots(p0, p1)
+        if roots.size == 0:
+            return
+        d = self.defl
+        res = solve_secular(d.dlamda, d.zsec, d.rho, index=roots)
+        self.orig[roots] = res.orig
+        self.tau[roots] = res.tau
+        self.lam[roots] = res.lam
+        self.stats.secular_sweeps += res.iterations
+
+    def t_local_w_panel(self, p0: int, p1: int, pid: int) -> None:
+        roots = self.clip_roots(p0, p1)
+        if roots.size == 0:
+            return
+        d = self.defl
+        self.wparts[pid] = local_w_product(d.dlamda, self.orig[roots],
+                                           self.tau[roots], roots)
+
+    def t_reduce_w(self) -> None:
+        # Subset computation at the ROOT merge: every eigenvalue is
+        # known here (LAED4 done, deflated values known), so the final
+        # rank of each stored column can be computed and the expensive
+        # UpdateVect restricted to the wanted ones (the [6] optimization
+        # of the last update step; see paper Sec. I).
+        ctx = self.ctx
+        if ctx.subset is not None and self.n == ctx.n:
+            lam_stored = np.concatenate([self.lam, self.defl.d_defl])
+            ranks = np.empty(self.n, dtype=np.intp)
+            ranks[np.argsort(lam_stored, kind="stable")] = np.arange(self.n)
+            wanted = np.zeros(self.n, dtype=bool)
+            wanted[np.isin(ranks, ctx.subset)] = True
+            self.wanted_stored = wanted
+        if self.k == 0:
+            self.zhat = np.zeros(0)
+            return
+        parts = [self.wparts[pid] for pid in sorted(self.wparts)]
+        self.zhat = reduce_w(parts, self.defl.zsec, self.defl.rho)
+
+    def t_copyback_panel(self, p0: int, p1: int) -> None:
+        ctx = self.ctx
+        d = self.defl
+        lo, hi = self.lo, self.hi
+        for dest in range(max(p0, self.k), min(p1, self.n)):
+            ctx.V[lo:hi, lo + dest] = ctx.Vws[lo:hi, lo + dest]
+            ctx.D[lo + dest] = d.d_defl[dest - self.k]
+
+    def copyback_rows_moved(self, p0: int, p1: int) -> float:
+        n_cols = max(0, min(p1, self.n) - max(p0, self.k))
+        return float(n_cols * self.n)
+
+    def t_compute_vect_panel(self, p0: int, p1: int) -> None:
+        cols = self.clip_roots(p0, p1)
+        if cols.size == 0:
+            return
+        d = self.defl
+        self.X[:, cols] = eigenvector_columns(d.dlamda, self.orig[cols],
+                                              self.tau[cols], self.zhat,
+                                              row_order=d.rowidx)
+
+    def update_cols(self, p0: int, p1: int) -> np.ndarray:
+        """Columns of panel [p0, p1) whose eigenvectors must be formed
+        (all non-deflated ones, or only the wanted subset at the root)."""
+        cols = self.clip_roots(p0, p1)
+        if self.wanted_stored is not None and cols.size:
+            cols = cols[self.wanted_stored[cols]]
+        return cols
+
+    def t_update_vect_panel(self, p0: int, p1: int) -> None:
+        ctx = self.ctx
+        # Eigenvalues are always produced for every panel root (the
+        # final ordering needs them), even when the vector is skipped.
+        roots = self.clip_roots(p0, p1)
+        if roots.size == 0:
+            return
+        ctx.D[self.lo + roots] = self.lam[roots]
+        cols = self.update_cols(p0, p1)
+        if cols.size == 0:
+            return
+        lo, mid, hi = self.lo, self.mid, self.hi
+        k1, k2, _ = self.defl.ctot
+        k = self.k
+        k12 = k1 + k2
+        if cols.size == roots.size:
+            dst = slice(lo + int(cols[0]), lo + int(cols[-1]) + 1)
+            xs: slice | np.ndarray = slice(int(cols[0]), int(cols[-1]) + 1)
+        else:   # subset at the root: possibly non-contiguous columns
+            dst = lo + cols
+            xs = cols
+        if k12:
+            ctx.V[lo:mid, dst] = ctx.Vws[lo:mid, lo:lo + k12] @ self.X[:k12, xs]
+        else:
+            ctx.V[lo:mid, dst] = 0.0
+        if k - k1:
+            ctx.V[mid:hi, dst] = ctx.Vws[mid:hi, lo + k1:lo + k] @ self.X[k1:k, xs]
+        else:
+            ctx.V[mid:hi, dst] = 0.0
+
+    def update_vect_shape(self, p0: int, p1: int) -> tuple[int, int, int, int, int]:
+        """(n1, n2, k12, k23, m) for the cost model; m reflects subset
+        restriction at the root (the [6] cost saving)."""
+        k1, k2, _ = self.defl.ctot
+        m = int(self.update_cols(p0, p1).size)
+        return (self.n1, self.n - self.n1, k1 + k2, self.k - k1, m)

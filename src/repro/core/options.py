@@ -1,0 +1,68 @@
+"""Tuning options of the task-flow D&C solver (paper Sec. IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DCOptions:
+    """Knobs of the task-flow Divide & Conquer eigensolver.
+
+    ``minpart``
+        Maximal size of a leaf subproblem (the paper's "minimal partition
+        size"; 300 in the Fig. 2 example, LAPACK uses 25).  Leaves are
+        solved by QR iteration (``STEDC`` tasks).
+    ``nb``
+        Panel width: every merge kernel is split into tasks of at most
+        ``nb`` eigenvector columns.  Smaller nb → more parallelism,
+        more scheduling overhead (the tuning trade-off of Sec. IV).
+        ``None`` (default) auto-tunes to ``clamp(n // 64, 32, 256)`` so
+        the root merge always exposes enough panels for the cores.
+    ``extra_workspace``
+        The paper's user option: with extra workspace, ``LAED4`` may
+        overlap the ``PermuteV`` copies and ``ComputeVect`` may overlap
+        ``CopyBackDeflated``; without it they serialize on the shared
+        buffer.  Only scheduling freedom changes, never the numbers.
+    ``level_barrier``
+        When True, a synchronization barrier is inserted between levels
+        of the merge tree (the *un*-optimized variant of Fig. 3(b); the
+        paper's contribution removes it — Fig. 3(c)).
+    ``fork_join``
+        When True, only ``UpdateVect`` (the GEMM) is parallel and all
+        other kernels run as a sequential stream — the multithreaded-BLAS
+        model of MKL LAPACK (Fig. 3(a)).  Implies ``level_barrier``.
+    ``deflation_tol_factor``
+        Multiplier of machine epsilon in the deflation test (LAPACK: 8).
+    """
+
+    minpart: int = 64
+    nb: int | None = None
+    extra_workspace: bool = True
+    level_barrier: bool = False
+    fork_join: bool = False
+    deflation_tol_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.minpart < 1:
+            raise ValueError("minpart must be >= 1")
+        if self.nb is not None and self.nb < 1:
+            raise ValueError("nb must be >= 1")
+
+    def effective_nb(self, n: int) -> int:
+        """Panel width used for a problem of size ``n``."""
+        if self.nb is not None:
+            return self.nb
+        return min(256, max(32, n // 64))
+
+    def with_(self, **kwargs) -> "DCOptions":
+        return replace(self, **kwargs)
+
+
+#: Scheduler configurations of the paper's Fig. 3 trace study.
+FIG3_CONFIGS = {
+    "sequential": DCOptions(fork_join=True, level_barrier=True, nb=1 << 30),
+    "parallel-gemm": DCOptions(fork_join=True, level_barrier=True),
+    "parallel-merge": DCOptions(level_barrier=True),
+    "full-taskflow": DCOptions(),
+}

@@ -1,0 +1,143 @@
+"""Divide & Conquer SVD (the paper's future-work extension).
+
+The paper's conclusion: *"the Singular Value Decomposition follows the
+same scheme as the symmetric eigenproblem, by reducing the initial
+matrix to bidiagonal form and using a Divide and Conquer algorithm as
+bidiagonal solver, it is also a good candidate for applying the ideas of
+this paper."*
+
+This module applies exactly those ideas by the Golub–Kahan route: the
+SVD of an upper bidiagonal B (diagonal q, superdiagonal r) is the
+positive half of the spectrum of the **TGK matrix** — the permuted
+``[[0, Bᵀ], [B, 0]]`` is symmetric *tridiagonal* with zero diagonal and
+off-diagonals ``(q₁, r₁, q₂, r₂, …, qₙ)``.  Solving it with the
+task-flow D&C eigensolver yields, for each singular triplet
+(σ, u, v), the eigenpair ``λ = σ``,
+``z = (v₁, u₁, v₂, u₂, …)/√2``.
+
+``svd_bidiagonal`` runs the tridiagonal task-flow D&C on the TGK form;
+``svd`` adds Householder bidiagonalization and the back-transformations
+for dense matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kernels.bidiagonalize import apply_ql, apply_qr, bidiagonalize
+from .options import DCOptions
+from .solver import dc_eigh
+
+__all__ = ["tgk_tridiagonal", "svd_bidiagonal", "svd"]
+
+_EPS = np.finfo(np.float64).eps
+
+
+def tgk_tridiagonal(q: np.ndarray, r: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """The Golub–Kahan TGK tridiagonal of the bidiagonal (q, r).
+
+    Returns (d, e) of size 2n with d = 0 and e interleaving q and r.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    n = q.shape[0]
+    if r.shape[0] != max(0, n - 1):
+        raise ValueError("superdiagonal must have length n-1")
+    e = np.empty(2 * n - 1)
+    e[0::2] = q
+    if n > 1:
+        e[1::2] = r
+    return np.zeros(2 * n), e
+
+
+def svd_bidiagonal(q: np.ndarray, r: np.ndarray, *,
+                   options: Optional[DCOptions] = None,
+                   backend: str = "sequential",
+                   n_workers: Optional[int] = None
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD of the upper bidiagonal matrix B = bidiag(q, r).
+
+    Returns ``(U, s, Vt)`` with singular values descending (LAPACK
+    convention) and ``B = U @ diag(s) @ Vt``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    n = q.shape[0]
+    if n == 0:
+        raise ValueError("empty matrix")
+    if n == 1:
+        s = abs(float(q[0]))
+        sign = 1.0 if q[0] >= 0 else -1.0
+        return np.array([[sign]]), np.array([s]), np.eye(1)
+    d, e = tgk_tridiagonal(q, r)
+    lam, Z = dc_eigh(d, e, options=options, backend=backend,
+                     n_workers=n_workers)
+    # Positive half of the symmetric spectrum, largest first.
+    idx = np.argsort(lam)[::-1][:n]
+    s = lam[idx]
+    Zp = Z[:, idx]
+    # z = (v1, u1, v2, u2, ...)/sqrt(2)
+    V = np.sqrt(2.0) * Zp[0::2, :]
+    U = np.sqrt(2.0) * Zp[1::2, :]
+    # Tiny singular values: the ±σ eigenspaces merge at zero, so the
+    # extracted halves of a near-null eigenvector can have any norms
+    # (even 0 and 1).  The well-determined columns span the row/column
+    # space, so complete each tiny column as an orthogonal-complement
+    # direction: that is exactly null(B) / null(Bᵀ) up to O(σ).
+    scale = max(float(np.max(np.abs(s))), 1.0)
+    tiny = np.abs(s) <= 64.0 * n * _EPS * scale
+    nrm_u = np.sqrt(np.sum(U * U, axis=0))
+    nrm_v = np.sqrt(np.sum(V * V, axis=0))
+    for M, nrm in ((U, nrm_u), (V, nrm_v)):
+        safe = np.where(nrm == 0.0, 1.0, nrm)
+        M /= safe[None, :]
+        if np.any(tiny):
+            rng = np.random.default_rng(n)
+            others = np.where(~tiny)[0]
+            done = list(others)
+            for c in np.where(tiny)[0]:
+                x = M[:, c] if nrm[c] > 0.25 else rng.normal(size=n)
+                for _sweep in range(2):
+                    for c2 in done:
+                        x = x - np.dot(M[:, c2], x) * M[:, c2]
+                nx = np.linalg.norm(x)
+                if nx < 1e-3:
+                    x = rng.normal(size=n)
+                    for _sweep in range(2):
+                        for c2 in done:
+                            x = x - np.dot(M[:, c2], x) * M[:, c2]
+                    nx = np.linalg.norm(x)
+                M[:, c] = x / nx
+                done.append(c)
+    s = np.maximum(s, 0.0)
+    return U, s, V.T
+
+
+def svd(a: np.ndarray, *, options: Optional[DCOptions] = None,
+        backend: str = "sequential",
+        n_workers: Optional[int] = None
+        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin SVD of a dense m×n matrix via bidiagonalization + D&C.
+
+    Returns ``(U, s, Vt)`` with ``A = U @ diag(s) @ Vt``; U is m×n,
+    Vt is n×n, singular values descending.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    m, n = a.shape
+    if m < n:
+        u, s, vt = svd(a.T, options=options, backend=backend,
+                       n_workers=n_workers)
+        return vt.T, s, u.T
+    bid = bidiagonalize(a)
+    ub, s, vbt = svd_bidiagonal(bid.q, bid.r, options=options,
+                                backend=backend, n_workers=n_workers)
+    # Back-transform: U = Q_L [ub; 0], V = Q_R vb.
+    u_full = np.zeros((m, n))
+    u_full[:n, :] = ub
+    U = apply_ql(bid, u_full)
+    V = apply_qr(bid, vbt.T)
+    return U, s, V.T

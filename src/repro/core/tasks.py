@@ -1,0 +1,226 @@
+"""Task-graph construction for the D&C eigensolver (paper Sec. IV, Fig. 2).
+
+``submit_dc`` walks the partition tree bottom-up and inserts the tasks of
+Algorithm 1 into a :class:`~repro.runtime.dag.TaskGraph` with the access
+qualifiers described in the paper:
+
+* panel tasks carry an O(1) number of dependencies: their own panel
+  handles plus a GATHERV on the full (logical) matrix of the merge;
+* the join kernels (``Compute_deflation``, ``ReduceW``) take a single
+  INOUT on the merge's data;
+* the DAG is **matrix independent**: one task per panel is submitted for
+  every kernel regardless of deflation; tasks whose panel falls entirely
+  in the deflated range become no-ops at execution time.
+
+Scheduling variants used in the evaluation are expressed purely with
+extra dependencies:
+
+* ``fork_join`` threads a serial token through every non-GEMM task
+  (``UpdateVect`` panels form GATHERV groups on the token) — the
+  multithreaded-BLAS model of MKL LAPACK (Fig. 3(a));
+* ``level_barrier`` inserts a barrier task between merge-tree levels
+  (Fig. 3(b));
+* without either, independent merges overlap freely (Fig. 3(c) — the
+  paper's contribution).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..runtime.dag import TaskGraph
+from ..runtime.task import DataHandle, INPUT, INOUT, OUTPUT, GATHERV
+from . import costs
+from .merge import DCContext, MergeState, panel_ranges
+from .options import DCOptions
+from .tree import Node, build_tree
+
+__all__ = ["submit_dc", "DCGraphInfo"]
+
+
+class DCGraphInfo:
+    """Handles and states of a submitted D&C task graph."""
+
+    def __init__(self, ctx: DCContext, tree: Node):
+        self.ctx = ctx
+        self.tree = tree
+        self.states: dict[tuple[int, int], MergeState] = {}
+        self.hV: dict[tuple[int, int], DataHandle] = {}
+
+
+def submit_dc(graph: TaskGraph, ctx: DCContext,
+              tree: Optional[Node] = None) -> DCGraphInfo:
+    """Insert the complete D&C task flow for ``ctx`` into ``graph``."""
+    opts = ctx.opts
+    n = ctx.n
+    tree = tree or build_tree(n, opts.minpart)
+    info = DCGraphInfo(ctx, tree)
+
+    hT = DataHandle("T")
+    serial = DataHandle("serial-token") if opts.fork_join else None
+
+    def acc(base, parallel: bool = False):
+        """Append the fork/join serial token to an access list.
+
+        In fork/join mode every task is serialized on the token except
+        the ``UpdateVect`` GEMMs, which form GATHERV groups on it — the
+        parallel-BLAS region between two sequential sections."""
+        if serial is not None:
+            base = list(base) + [(serial, GATHERV if parallel else INOUT)]
+        return base
+
+    graph.insert_task(ctx.t_scale, acc([(hT, INOUT)]), name="ScaleT",
+                      cost=costs.cost_scale(n))
+    graph.insert_task(ctx.t_partition, acc([(hT, INOUT)]), args=(tree,),
+                      name="Partition", cost=costs.cost_scale(n))
+
+    # --- leaves ---------------------------------------------------------
+    for leaf in tree.leaves():
+        h = DataHandle(f"V[{leaf.lo}:{leaf.hi}]")
+        info.hV[(leaf.lo, leaf.hi)] = h
+        graph.insert_task(ctx.t_laset, acc([(h, OUTPUT)]), args=(leaf,),
+                          name="LASET", tag=(leaf.lo, leaf.hi),
+                          cost=costs.cost_laset(n, leaf.n))
+        graph.insert_task(ctx.t_stedc_leaf,
+                          acc([(hT, INPUT), (h, INOUT)]), args=(leaf,),
+                          name="STEDC", tag=(leaf.lo, leaf.hi),
+                          cost=costs.cost_stedc(leaf.n))
+
+    # --- merges, bottom-up with optional level barriers ------------------
+    prev_level_barrier: Optional[DataHandle] = None
+    for level_nodes in tree.merges_by_level():
+        if opts.level_barrier:
+            hbar = DataHandle("level-barrier")
+            deps = [(info.hV[(nd.left.lo, nd.left.hi)], INPUT)
+                    for nd in level_nodes]
+            deps += [(info.hV[(nd.right.lo, nd.right.hi)], INPUT)
+                     for nd in level_nodes]
+            graph.insert_task(lambda: None, acc(deps + [(hbar, OUTPUT)]),
+                              name="LevelBarrier")
+            prev_level_barrier = hbar
+        for node in level_nodes:
+            _submit_merge(graph, info, node, acc, prev_level_barrier)
+
+    # --- final ordering + scale back -------------------------------------
+    hroot = info.hV[(tree.lo, tree.hi)]
+    hsort = DataHandle("sort-order")
+    graph.insert_task(ctx.t_sort_join, acc([(hroot, INPUT), (hsort, OUTPUT)]),
+                      name="SortEigenvectors",
+                      cost=costs.cost_scale(n))
+    hVout = DataHandle("V-sorted")
+    for (p0, p1) in panel_ranges(n, opts.effective_nb(n)):
+        graph.insert_task(ctx.t_sort_panel,
+                          acc([(hsort, INPUT), (hroot, INPUT),
+                               (hVout, GATHERV)]),
+                          args=(p0, p1), name="SortEigenvectors",
+                          tag=("sort", p0),
+                          cost=costs.cost_sort(n, p1 - p0))
+    graph.insert_task(ctx.t_scale_back, acc([(hsort, INPUT), (hVout, INOUT)]),
+                      name="ScaleBack", cost=costs.cost_scale(n))
+    return info
+
+
+def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
+                  acc, level_barrier: Optional[DataHandle]) -> None:
+    ctx = info.ctx
+    opts = ctx.opts
+    st = MergeState(ctx, node)
+    info.states[(node.lo, node.hi)] = st
+
+    hL = info.hV[(node.left.lo, node.left.hi)]
+    hR = info.hV[(node.right.lo, node.right.hi)]
+    hV = DataHandle(f"V[{node.lo}:{node.hi}]")
+    info.hV[(node.lo, node.hi)] = hV
+    hdefl = DataHandle(f"defl[{node.lo}:{node.hi}]")
+    hVws = DataHandle(f"Vws[{node.lo}:{node.hi}]")
+    hW = DataHandle(f"W[{node.lo}:{node.hi}]")
+    hcb = DataHandle(f"cbdone[{node.lo}:{node.hi}]")
+    panels = panel_ranges(node.n, opts.effective_nb(ctx.n))
+    npan = len(panels)
+    hsec = [DataHandle(f"sec[{node.lo}:{node.hi}]p{i}") for i in range(npan)]
+    hX = [DataHandle(f"X[{node.lo}:{node.hi}]p{i}") for i in range(npan)]
+    tag = (node.lo, node.hi)
+
+    barrier_dep = [(level_barrier, INPUT)] if level_barrier is not None else []
+
+    graph.insert_task(st.t_compute_deflation,
+                      acc([(hL, INPUT), (hR, INPUT), (hdefl, OUTPUT)]
+                          + barrier_dep),
+                      name="Compute_deflation", tag=tag,
+                      cost=costs.cost_compute_deflation(node.n))
+
+    # Deflating rotations: a fixed, small number of groups (keeps the DAG
+    # matrix-independent and every panel task's dependency count O(1));
+    # chains are distributed round-robin at execution time.
+    n_rot_groups = min(npan, 4)
+    for g in range(n_rot_groups):
+        graph.insert_task(st.t_apply_givens,
+                          acc([(hdefl, INPUT), (hL, GATHERV), (hR, GATHERV)]),
+                          args=(g, n_rot_groups), name="ApplyGivens", tag=tag,
+                          cost=(lambda s=st, g=g, m=n_rot_groups:
+                                costs.cost_apply_givens(
+                                    s.n, sum(len(c) for c in s.chains[g::m]))))
+
+    for pid, (p0, p1) in enumerate(panels):
+        graph.insert_task(st.t_permute_panel,
+                          acc([(hdefl, INPUT), (hL, INPUT), (hR, INPUT),
+                               (hVws, GATHERV)]),
+                          args=(p0, p1), name="PermuteV", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_permute(s.permute_rows_moved(a, b))))
+
+    for pid, (p0, p1) in enumerate(panels):
+        laed4_acc = [(hdefl, INPUT), (hsec[pid], OUTPUT)]
+        if not opts.extra_workspace:
+            # No extra buffer: the secular solve waits for all permutes
+            # (submission order puts every PermuteV before the first
+            # LAED4, so this INPUT closes the whole GATHERV group).
+            laed4_acc.append((hVws, INPUT))
+        graph.insert_task(st.t_laed4_panel, acc(laed4_acc),
+                          args=(p0, p1), name="LAED4", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_laed4(s.k, s.clip_roots(a, b).size)))
+        graph.insert_task(st.t_local_w_panel,
+                          acc([(hdefl, INPUT), (hsec[pid], INPUT),
+                               (hW, GATHERV)]),
+                          args=(p0, p1, pid), name="ComputeLocalW", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_local_w(s.k, s.clip_roots(a, b).size)))
+
+    graph.insert_task(st.t_reduce_w, acc([(hdefl, INPUT), (hW, INOUT)]),
+                      name="ReduceW", tag=tag,
+                      cost=(lambda s=st, m=npan: costs.cost_reduce_w(s.k, m)))
+
+    for pid, (p0, p1) in enumerate(panels):
+        graph.insert_task(st.t_copyback_panel,
+                          acc([(hdefl, INPUT), (hVws, INPUT),
+                               (hV, GATHERV), (hcb, GATHERV)]),
+                          args=(p0, p1), name="CopyBackDeflated", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_copyback(s.copyback_rows_moved(a, b))))
+
+    for pid, (p0, p1) in enumerate(panels):
+        cv_acc = [(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
+                  (hX[pid], OUTPUT)]
+        if not opts.extra_workspace:
+            # ComputeVect waits for every copy-back to free the buffer.
+            cv_acc.append((hcb, INPUT))
+        graph.insert_task(st.t_compute_vect_panel, acc(cv_acc),
+                          args=(p0, p1), name="ComputeVect", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_compute_vect(s.k, s.clip_roots(a, b).size)))
+
+    # UpdateVect panels are submitted as one contiguous group so that in
+    # fork/join mode they form a single GATHERV group on the serial token
+    # (the parallel-BLAS region); dependencies order them anyway.
+    for pid, (p0, p1) in enumerate(panels):
+        graph.insert_task(st.t_update_vect_panel,
+                          acc([(hdefl, INPUT), (hVws, INPUT),
+                               (hX[pid], INPUT), (hV, GATHERV)],
+                              parallel=True),
+                          args=(p0, p1), name="UpdateVect", tag=tag,
+                          cost=(lambda s=st, a=p0, b=p1:
+                                costs.cost_update_vect(*s.update_vect_shape(a, b))))

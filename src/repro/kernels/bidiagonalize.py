@@ -1,0 +1,120 @@
+"""Householder bidiagonalization (DGEBRD) and back-transformations.
+
+First stage of the dense SVD pipeline the paper's conclusion points to:
+``A = Q_L B Q_Rᵀ`` with B upper bidiagonal, followed by a D&C bidiagonal
+SVD and back-transformation of the singular vectors — the same scheme as
+the symmetric pipeline (Eqs. 1–3) with two orthogonal factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Bidiagonalization", "bidiagonalize", "apply_ql", "apply_qr"]
+
+
+@dataclass
+class Bidiagonalization:
+    """``A = Q_L B Q_Rᵀ``; Householder vectors stored LAPACK-style.
+
+    ``q``/``r`` are the diagonal and superdiagonal of B (m ≥ n assumed).
+    Left reflectors live in column k of ``left`` (rows k..m-1), right
+    reflectors in row k of ``right`` (columns k+1..n-1).
+    """
+
+    q: np.ndarray
+    r: np.ndarray
+    left: np.ndarray
+    taul: np.ndarray
+    right: np.ndarray
+    taur: np.ndarray
+    shape: tuple[int, int]
+
+    def ql(self) -> np.ndarray:
+        """Materialize Q_L (m×m)."""
+        m = self.shape[0]
+        return apply_ql(self, np.eye(m))
+
+    def qr(self) -> np.ndarray:
+        """Materialize Q_R (n×n)."""
+        n = self.shape[1]
+        return apply_qr(self, np.eye(n))
+
+
+def _householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    alpha = x[0]
+    sigma = float(np.dot(x[1:], x[1:]))
+    v = x.copy()
+    v[0] = 1.0
+    if sigma == 0.0:
+        return v, 0.0, float(alpha)
+    beta = -math.copysign(math.hypot(alpha, math.sqrt(sigma)), alpha)
+    tau = (beta - alpha) / beta
+    v[1:] = x[1:] / (alpha - beta)
+    return v, float(tau), float(beta)
+
+
+def bidiagonalize(a: np.ndarray) -> Bidiagonalization:
+    """Reduce a dense m×n matrix (m ≥ n) to upper bidiagonal form."""
+    a = np.array(a, dtype=np.float64, copy=True)
+    m, n = a.shape
+    if m < n:
+        raise ValueError("bidiagonalize requires m >= n (pass A.T and "
+                         "swap the factors for wide matrices)")
+    q = np.zeros(n)
+    r = np.zeros(max(0, n - 1))
+    left = np.zeros((m, n))
+    taul = np.zeros(n)
+    right = np.zeros((n, n))
+    taur = np.zeros(max(0, n - 1))
+    for k in range(n):
+        # Left reflector annihilates column k below the diagonal.
+        v, tau, beta = _householder(a[k:, k])
+        left[k:, k] = v
+        taul[k] = tau
+        q[k] = beta
+        if tau != 0.0:
+            block = a[k:, k + 1:]
+            block -= np.outer(tau * v, v @ block)
+        if k < n - 1:
+            # Right reflector annihilates row k right of the superdiag.
+            w, tau2, beta2 = _householder(a[k, k + 1:])
+            right[k, k + 1:] = w
+            taur[k] = tau2
+            r[k] = beta2
+            if tau2 != 0.0:
+                block = a[k + 1:, k + 1:]
+                block -= np.outer(block @ (tau2 * w), w)
+    return Bidiagonalization(q=q, r=r, left=left, taul=taul, right=right,
+                             taur=taur, shape=(m, n))
+
+
+def apply_ql(bid: Bidiagonalization, c: np.ndarray) -> np.ndarray:
+    """Q_L @ c (back-transformation of left singular vectors)."""
+    out = np.array(c, dtype=np.float64, copy=True)
+    n = bid.shape[1]
+    for k in range(n - 1, -1, -1):
+        tau = bid.taul[k]
+        if tau == 0.0:
+            continue
+        v = bid.left[k:, k]
+        block = out[k:, :]
+        block -= np.outer(tau * v, v @ block)
+    return out
+
+
+def apply_qr(bid: Bidiagonalization, c: np.ndarray) -> np.ndarray:
+    """Q_R @ c (back-transformation of right singular vectors)."""
+    out = np.array(c, dtype=np.float64, copy=True)
+    n = bid.shape[1]
+    for k in range(n - 2, -1, -1):
+        tau = bid.taur[k]
+        if tau == 0.0:
+            continue
+        w = bid.right[k, k + 1:]
+        block = out[k + 1:, :]
+        block -= np.outer(tau * w, w @ block)
+    return out

@@ -1,0 +1,212 @@
+"""Deflation for the D&C merge step (DLAED2 equivalent).
+
+Given the concatenated eigenvalues ``d`` of the two children, the updating
+vector ``z = Ṽᵀu`` and the rank-one weight ``rho`` (= β of the Cuppen
+splitting), this kernel:
+
+1. makes the weight positive (flipping the second half of ``z`` when
+   β < 0, i.e. choosing ``u = [..1, −1..]``),
+2. normalizes ``z`` and folds its norm into ``rho``,
+3. merges the two ascending child spectra into one sorted order,
+4. deflates entries with negligible ``z`` components,
+5. deflates *pairs* of close eigenvalues with a Givens rotation that
+   zeroes one ``z`` component (recorded for later application to the
+   eigenvector columns),
+6. produces the compressed column layout used by the panel tasks: the
+   ``k`` non-deflated columns grouped by column type
+   (1 = only rows of the first child are nonzero, 2 = dense after a
+   cross rotation, 3 = only rows of the second child), followed by the
+   ``n − k`` deflated columns; this grouping is what lets ``UpdateVect``
+   run two smaller GEMMs instead of one dense one.
+
+This is the functional payload of the paper's ``Compute_deflation`` join
+task; it is O(n log n) and matrix-independent in task count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DeflationResult", "GivensRotation", "deflate", "rotation_chains"]
+
+_EPS = np.finfo(np.float64).eps
+
+
+@dataclass(frozen=True)
+class GivensRotation:
+    """One recorded deflating rotation, applied to *source* columns.
+
+    Applied as BLAS ``drot``: ``q_i' = c q_i + s q_j``,
+    ``q_j' = c q_j − s q_i``; afterwards column ``i`` is deflated.
+    """
+
+    i: int
+    j: int
+    c: float
+    s: float
+
+
+@dataclass
+class DeflationResult:
+    """Output of :func:`deflate` — everything the merge tasks consume."""
+
+    n: int
+    n1: int
+    k: int                       # number of non-deflated eigenvalues
+    rho: float                   # effective positive weight of the secular system
+    dlamda: np.ndarray           # (k,) non-deflated d, ascending
+    zsec: np.ndarray             # (k,) unit-norm z of the secular system
+    perm: np.ndarray             # (n,) compressed position -> source column
+    rowidx: np.ndarray           # (k,) secular row of compressed column p
+    ctot: tuple[int, int, int]   # counts of column types (1, 2, 3)
+    d_defl: np.ndarray           # (n-k,) eigenvalues of deflated columns
+    rotations: list[GivensRotation] = field(default_factory=list)
+
+    @property
+    def n_deflated(self) -> int:
+        return self.n - self.k
+
+    @property
+    def deflation_ratio(self) -> float:
+        return self.n_deflated / self.n if self.n else 0.0
+
+
+def deflate(d: np.ndarray, z: np.ndarray, rho: float, n1: int,
+            *, tol_factor: float = 8.0) -> DeflationResult:
+    """Run the deflation analysis.
+
+    Parameters
+    ----------
+    d : (n,) concatenated child eigenvalues; ``d[:n1]`` and ``d[n1:]``
+        each ascending (column order of the concatenated child vectors).
+    z : (n,) updating vector in the same column order.
+    rho : signed β of the splitting (non-zero).
+    n1 : size of the first child block.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    z = np.array(z, dtype=np.float64, copy=True)
+    n = d.shape[0]
+    if not (0 < n1 < n):
+        raise ValueError("n1 must split the problem")
+    if rho == 0.0:
+        # β = 0: the two blocks are exactly decoupled — everything
+        # deflates and the merge is a pure sorting permutation.
+        order = np.argsort(d, kind="stable")
+        return DeflationResult(
+            n=n, n1=n1, k=0, rho=0.0, dlamda=np.empty(0),
+            zsec=np.empty(0), perm=order.astype(np.intp),
+            rowidx=np.empty(0, dtype=np.intp), ctot=(0, 0, 0),
+            d_defl=d[order].copy(), rotations=[])
+    if rho < 0.0:
+        z[n1:] = -z[n1:]
+        rho = -rho
+
+    znorm = float(np.linalg.norm(z))
+    if znorm == 0.0:
+        raise ValueError("zero updating vector")
+    z /= znorm
+    rho_eff = rho * znorm * znorm
+
+    order = np.argsort(d, kind="stable")
+    ds = d[order].copy()
+    zs = z[order].copy()
+    coltype = np.where(order < n1, 1, 3).astype(np.int8)
+
+    dmax = float(np.max(np.abs(ds)))
+    zmax = float(np.max(np.abs(zs)))
+    tol = tol_factor * _EPS * max(dmax, zmax)
+
+    deflated = np.zeros(n, dtype=bool)
+    rotations: list[GivensRotation] = []
+
+    # Single-entry deflation: negligible coupling through z.
+    small_z = rho_eff * np.abs(zs) <= tol
+    deflated[small_z] = True
+    zs[small_z] = 0.0
+
+    # Pairwise deflation of close eigenvalues (Givens pass, DLAED2).
+    prev = -1
+    for idx in range(n):
+        if deflated[idx]:
+            continue
+        if prev < 0:
+            prev = idx
+            continue
+        s_ = zs[prev]
+        c_ = zs[idx]
+        tau = math.hypot(c_, s_)
+        t = ds[idx] - ds[prev]
+        c_n = c_ / tau
+        s_n = -s_ / tau
+        if abs(t * c_n * s_n) <= tol:
+            rotations.append(GivensRotation(int(order[prev]),
+                                            int(order[idx]), c_n, s_n))
+            zs[idx] = tau
+            zs[prev] = 0.0
+            if coltype[prev] != coltype[idx]:
+                # Cross-block rotation: the surviving column is dense.
+                coltype[idx] = 2
+            t_new = ds[prev] * c_n * c_n + ds[idx] * s_n * s_n
+            ds[idx] = ds[prev] * s_n * s_n + ds[idx] * c_n * c_n
+            ds[prev] = t_new
+            deflated[prev] = True
+        prev = idx
+
+    nd_idx = np.where(~deflated)[0]          # ascending in d
+    df_idx = np.where(deflated)[0]
+    k = nd_idx.shape[0]
+
+    dlamda = ds[nd_idx]
+    zsec = zs[nd_idx]
+    # Renormalize zsec (rotations preserve the norm, single-entry
+    # deflation leaves a tail below tol; fold the residual norm into rho).
+    zn = float(np.linalg.norm(zsec))
+    if k > 0 and zn > 0.0:
+        zsec = zsec / zn
+        rho_sec = rho_eff * zn * zn
+    else:
+        rho_sec = rho_eff
+
+    # Group the non-deflated columns by type, stable within a group so
+    # dlamda order is preserved inside each block.
+    types_nd = coltype[nd_idx]
+    grp_order = np.argsort(types_nd, kind="stable")
+    nd_sorted = nd_idx[grp_order]
+    ctot = (int(np.sum(types_nd == 1)), int(np.sum(types_nd == 2)),
+            int(np.sum(types_nd == 3)))
+
+    perm = np.concatenate([order[nd_sorted], order[df_idx]]).astype(np.intp)
+    # rowidx: secular row (rank in dlamda) of each compressed column.
+    rank_of = np.empty(n, dtype=np.intp)
+    rank_of[nd_idx] = np.arange(k)
+    rowidx = rank_of[nd_sorted]
+
+    return DeflationResult(n=n, n1=n1, k=k, rho=rho_sec, dlamda=dlamda,
+                           zsec=zsec, perm=perm, rowidx=rowidx, ctot=ctot,
+                           d_defl=ds[df_idx], rotations=rotations)
+
+
+def rotation_chains(rotations: list[GivensRotation]
+                    ) -> list[list[GivensRotation]]:
+    """Partition the recorded rotations into independent chains.
+
+    Consecutive rotations share their surviving column (``j`` of one is
+    ``i`` of the next); chains touch disjoint column sets, so the
+    ``ApplyGivens`` work can run as one task per chain (GATHERV on the
+    child eigenvector blocks).
+    """
+    chains: list[list[GivensRotation]] = []
+    cur: list[GivensRotation] = []
+    last_surviving = None
+    for r in rotations:
+        if cur and r.i != last_surviving:
+            chains.append(cur)
+            cur = []
+        cur.append(r)
+        last_surviving = r.j
+    if cur:
+        chains.append(cur)
+    return chains

@@ -1,0 +1,45 @@
+"""Givens rotations (DLARTG / DROT equivalents)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["lartg", "rot", "lapy2"]
+
+
+def lapy2(x: float, y: float) -> float:
+    """sqrt(x**2 + y**2) without unnecessary overflow (DLAPY2)."""
+    return math.hypot(x, y)
+
+
+def lartg(f: float, g: float) -> tuple[float, float, float]:
+    """Generate a plane rotation: returns (c, s, r) with::
+
+        [  c  s ] [ f ]   [ r ]
+        [ -s  c ] [ g ] = [ 0 ]
+
+    Stable scaling follows DLARTG (sign convention of LAPACK >= 3.x:
+    c >= 0 when f dominates).
+    """
+    if g == 0.0:
+        return 1.0, 0.0, f
+    if f == 0.0:
+        return 0.0, 1.0, g
+    r = math.copysign(math.hypot(f, g), f if abs(f) > abs(g) else g)
+    c = f / r
+    s = g / r
+    return c, s, r
+
+
+def rot(x: np.ndarray, y: np.ndarray, c: float, s: float) -> None:
+    """Apply a plane rotation to two vectors in place (BLAS DROT)::
+
+        x <- c*x + s*y
+        y <- c*y - s*x   (using the original x)
+    """
+    tmp = c * x + s * y
+    y *= c
+    y -= s * x
+    x[...] = tmp

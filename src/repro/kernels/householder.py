@@ -1,0 +1,119 @@
+"""Householder tridiagonalization of a dense symmetric matrix (DSYTRD)
+and the corresponding back-transformation (DORMTR).
+
+The paper's pipeline (Eqs. 1–3) is: reduce A = Q T Qᵀ, solve the
+tridiagonal eigenproblem T = V Λ Vᵀ, then back-transform the
+eigenvectors: A = (QV) Λ (QV)ᵀ.  These kernels implement the reduction
+and the application of Q with vectorized rank-2 / rank-1 updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Tridiagonalization", "tridiagonalize", "apply_q", "apply_q_inplace"]
+
+
+@dataclass
+class Tridiagonalization:
+    """Result of :func:`tridiagonalize`.
+
+    ``d``/``e`` are the tridiagonal entries; ``reflectors`` (n×n lower
+    triangle) stores the Householder vectors v_k in column k (below the
+    subdiagonal), with ``taus[k]`` the scalar factors, LAPACK-style.
+    """
+
+    d: np.ndarray
+    e: np.ndarray
+    reflectors: np.ndarray
+    taus: np.ndarray
+
+    def q(self) -> np.ndarray:
+        """Materialize Q explicitly (DORGTR)."""
+        n = self.d.shape[0]
+        return apply_q(self, np.eye(n))
+
+
+def _householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Reflector (v, tau) with (I - tau v vᵀ)x = beta e_0, v[0] = 1."""
+    alpha = x[0]
+    sigma = float(np.dot(x[1:], x[1:]))
+    v = x.copy()
+    v[0] = 1.0
+    if sigma == 0.0:
+        return v, 0.0, float(alpha)
+    beta = -math.copysign(math.hypot(alpha, math.sqrt(sigma)), alpha)
+    tau = (beta - alpha) / beta
+    v[1:] = x[1:] / (alpha - beta)
+    return v, float(tau), float(beta)
+
+
+def tridiagonalize(a: np.ndarray) -> Tridiagonalization:
+    """Reduce the symmetric matrix ``a`` to tridiagonal form.
+
+    Unblocked Householder reduction with symmetric rank-2 updates
+    (``A ← A − v wᵀ − w vᵀ``); O(4n³/3) flops, all vectorized.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if n > 1 and not np.allclose(a, a.T, atol=1e-12 * max(1.0, float(np.max(np.abs(a))))):
+        raise ValueError("matrix must be symmetric")
+    d = np.empty(n)
+    e = np.empty(max(0, n - 1))
+    refl = np.zeros((n, n))
+    taus = np.zeros(max(0, n - 1))
+    for k in range(n - 2):
+        x = a[k + 1:, k]
+        v, tau, beta = _householder(x)
+        taus[k] = tau
+        refl[k + 1:, k] = v
+        e[k] = beta
+        if tau != 0.0:
+            sub = a[k + 1:, k + 1:]
+            w = tau * (sub @ v)
+            w -= (0.5 * tau * np.dot(w, v)) * v
+            sub -= np.outer(v, w)
+            sub -= np.outer(w, v)
+        a[k + 1:, k] = 0.0
+        a[k + 1, k] = beta  # informational; d/e carry the result
+        d[k] = a[k, k]
+    if n >= 2:
+        d[n - 2] = a[n - 2, n - 2]
+        e[n - 2] = a[n - 1, n - 2]
+    d[n - 1] = a[n - 1, n - 1]
+    return Tridiagonalization(d=d, e=e, reflectors=refl, taus=taus)
+
+
+def apply_q_inplace(tri: Tridiagonalization, out: np.ndarray) -> None:
+    """In-place ``out <- Q @ out`` (columns may be any panel of a larger
+    matrix: reflectors act on rows only, so column panels are
+    independent — the task decomposition of the back-transformation)."""
+    n = tri.d.shape[0]
+    for k in range(n - 3, -1, -1):
+        tau = tri.taus[k]
+        if tau == 0.0:
+            continue
+        v = tri.reflectors[k + 1:, k]
+        block = out[k + 1:, :]
+        block -= np.outer(tau * v, v @ block)
+
+
+def apply_q(tri: Tridiagonalization, c: np.ndarray) -> np.ndarray:
+    """Compute ``Q @ c`` where Q is the accumulated reduction transform.
+
+    Q = H_0 H_1 ... H_{n-3} with H_k acting on rows k+1..n-1; applying
+    in reverse order gives Q @ c (the back-transformation of
+    eigenvectors, Eq. 3 of the paper).
+    """
+    out = np.array(c, dtype=np.float64, copy=True)
+    if out.ndim == 1:
+        out = out[:, None]
+        apply_q_inplace(tri, out)
+        return out[:, 0]
+    apply_q_inplace(tri, out)
+    return out

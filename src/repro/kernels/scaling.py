@@ -1,0 +1,90 @@
+"""Norms and safe scaling of tridiagonal matrices (DLANST / DLASCL).
+
+``dstedc`` scales the tridiagonal matrix so its max-norm sits inside the
+safe range before dividing, and scales the eigenvalues back afterwards;
+the paper's DAG shows this as the ``Scale T`` / ``Scale back`` tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lanst", "scale_tridiagonal", "ScaleInfo"]
+
+#: Safe range bounds, mirroring DLAMCH('S')-based RMIN/RMAX in dstedc.
+_EPS = np.finfo(np.float64).eps
+_SAFE_MIN = np.finfo(np.float64).tiny
+_RMIN = np.sqrt(_SAFE_MIN / _EPS)
+_RMAX = 1.0 / _RMIN
+
+
+def lanst(norm: str, d: np.ndarray, e: np.ndarray) -> float:
+    """Norm of a symmetric tridiagonal matrix (LAPACK DLANST).
+
+    Parameters
+    ----------
+    norm:
+        ``"M"`` max-abs entry, ``"1"``/``"I"`` one/inf norm (equal by
+        symmetry), ``"F"`` Frobenius.
+    d, e:
+        Diagonal (n) and off-diagonal (n-1) entries.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.shape[0]
+    if n == 0:
+        return 0.0
+    key = norm.upper()
+    if key == "M":
+        m = np.max(np.abs(d))
+        if e.size:
+            m = max(m, np.max(np.abs(e)))
+        return float(m)
+    if key in ("1", "O", "I"):
+        if n == 1:
+            return float(abs(d[0]))
+        col = np.abs(d).copy()
+        col[:-1] += np.abs(e)
+        col[1:] += np.abs(e)
+        return float(np.max(col))
+    if key in ("F", "E"):
+        return float(np.sqrt(np.sum(d * d) + 2.0 * np.sum(e * e)))
+    raise ValueError(f"unknown norm {norm!r}")
+
+
+class ScaleInfo:
+    """Records the scaling applied so it can be undone on the eigenvalues."""
+
+    __slots__ = ("sigma",)
+
+    def __init__(self, sigma: float):
+        self.sigma = sigma
+
+    @property
+    def scaled(self) -> bool:
+        return self.sigma != 1.0
+
+    def unscale_eigenvalues(self, lam: np.ndarray) -> np.ndarray:
+        """In-place inverse scaling (the DAG's ``Scale back`` task)."""
+        if self.scaled:
+            lam *= 1.0 / self.sigma
+        return lam
+
+
+def scale_tridiagonal(d: np.ndarray, e: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, ScaleInfo]:
+    """Scale (d, e) into the safe range; returns copies plus a ScaleInfo.
+
+    The matrix is multiplied by ``sigma`` so that its max-norm lies in
+    ``[RMIN, RMAX]``; eigenvalues of the scaled matrix must be divided by
+    ``sigma`` afterwards (``ScaleInfo.unscale_eigenvalues``).
+    """
+    d = np.array(d, dtype=np.float64, copy=True)
+    e = np.array(e, dtype=np.float64, copy=True)
+    nrm = lanst("M", d, e)
+    if nrm == 0.0 or (_RMIN <= nrm <= _RMAX):
+        return d, e, ScaleInfo(1.0)
+    sigma = (_RMIN / nrm) if nrm < _RMIN else (_RMAX / nrm)
+    d *= sigma
+    e *= sigma
+    return d, e, ScaleInfo(sigma)

@@ -1,0 +1,91 @@
+"""Gu–Eisenstat stabilization and eigenvector assembly (DLAED3/DLAED9).
+
+After the secular roots λ_j are computed, forming eigenvectors directly
+from the *original* z loses orthogonality when roots sit close to poles.
+Gu & Eisenstat's fix recomputes a vector ẑ for which the computed λ_j are
+the *exact* eigenvalues of ``D + ρ ẑẑᵀ``::
+
+    ẑ_i² = (λ_i − d_i) · Π_{j≠i} (λ_j − d_i)/(d_j − d_i) / ρ
+
+(with sign taken from the original z).  All λ_j − d_i distances are
+formed from the (origin, τ) representation returned by the secular
+solver, never by subtracting the materialized λ — this is what keeps the
+eigenvectors orthogonal to O(√n·ε) without extended precision.
+
+The product over j splits freely over index subsets, which is exactly
+the paper's ``ComputeLocalW`` (partial product over one panel of roots)
+/ ``ReduceW`` (combine partials, take the square root) task pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["local_w_product", "reduce_w", "eigenvector_columns"]
+
+
+def local_w_product(dlamda: np.ndarray, orig: np.ndarray, tau: np.ndarray,
+                    panel: np.ndarray) -> np.ndarray:
+    """Partial product over the roots in ``panel`` for every pole i.
+
+    Parameters
+    ----------
+    dlamda : (k,) poles of the secular system (ascending).
+    orig, tau : root representation for the roots in ``panel`` — i.e.
+        ``orig[c]``/``tau[c]`` describe root ``panel[c]``.
+    panel : (m,) indices of the roots this task owns.
+
+    Returns
+    -------
+    (k,) array: ``Π_{j∈panel, j≠i} (λ_j − d_i)/(d_j − d_i)`` times, when
+    ``i ∈ panel``, the unpaired factor ``(λ_i − d_i)``.  All factors are
+    positive by interlacing.
+    """
+    dlamda = np.asarray(dlamda, dtype=np.float64)
+    panel = np.asarray(panel, dtype=np.intp)
+    # num[i, c] = λ_{panel[c]} − d_i, formed stably from (origin, τ).
+    num = (dlamda[orig][None, :] - dlamda[:, None]) + tau[None, :]
+    den = dlamda[panel][None, :] - dlamda[:, None]
+    m = panel.shape[0]
+    cols = np.arange(m)
+    # Unpaired diagonal factor: ratio becomes just (λ_i − d_i).
+    den[panel, cols] = 1.0
+    return np.prod(num / den, axis=1)
+
+
+def reduce_w(partials: list[np.ndarray] | np.ndarray, zsec: np.ndarray,
+             rho: float) -> np.ndarray:
+    """Combine panel partial products into the stabilized ẑ (``ReduceW``).
+
+    ``partials`` is the list of per-panel outputs of
+    :func:`local_w_product`; ``zsec`` supplies the signs; ``rho`` is the
+    secular weight.
+    """
+    arr = np.asarray(partials, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    w = np.prod(arr, axis=0) / rho
+    # Round-off can push a tiny positive product below zero.
+    w = np.maximum(w, 0.0)
+    return np.copysign(np.sqrt(w), zsec)
+
+
+def eigenvector_columns(dlamda: np.ndarray, orig: np.ndarray,
+                        tau: np.ndarray, zhat: np.ndarray,
+                        row_order: np.ndarray | None = None) -> np.ndarray:
+    """Normalized secular eigenvector block (``ComputeVect``).
+
+    Column c is the eigenvector of ``D + ρ ẑẑᵀ`` for the root described
+    by ``(orig[c], tau[c])``: ``x_i = ẑ_i / (d_i − λ_c)``, normalized.
+
+    ``row_order`` optionally permutes the rows (used to emit rows
+    directly in the compressed column order of the merge workspace).
+    """
+    dlamda = np.asarray(dlamda, dtype=np.float64)
+    zhat = np.asarray(zhat, dtype=np.float64)
+    delta = (dlamda[:, None] - dlamda[orig][None, :]) - tau[None, :]
+    x = zhat[:, None] / delta
+    x /= np.sqrt(np.sum(x * x, axis=0))[None, :]
+    if row_order is not None:
+        x = x[row_order, :]
+    return x

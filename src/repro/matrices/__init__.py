@@ -1,0 +1,14 @@
+"""Test matrix generators: Table III types and application substitutes."""
+
+from .testmatrices import (MATRIX_TYPES, test_matrix, spectrum_of_type,
+                           tridiagonal_from_spectrum, matrix_description)
+from .application import (application_matrices, glued_wilkinson,
+                          lanczos_laplacian_1d, clustered_spectrum,
+                          graded_matrix)
+
+__all__ = [
+    "MATRIX_TYPES", "test_matrix", "spectrum_of_type",
+    "tridiagonal_from_spectrum", "matrix_description",
+    "application_matrices", "glued_wilkinson", "lanczos_laplacian_1d",
+    "clustered_spectrum", "graded_matrix",
+]

@@ -1,0 +1,122 @@
+"""Application-like tridiagonal matrices (stetester substitute, Fig. 10).
+
+The paper's Fig. 10 uses matrices collected from real applications by
+the LAPACK ``stetester`` suite (quantum chemistry, structural
+engineering, ...).  That collection is not redistributable here, so
+these generators produce synthetic matrices with the same *qualitative
+spectrum classes* the collection is known for: glued Wilkinson blocks
+(tight artificial clusters), Lanczos reductions of discretized PDE
+operators (smooth spectra with shared extremes), multi-cluster spectra
+(electronic-structure-like), and strongly graded matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .testmatrices import tridiagonal_from_spectrum
+
+__all__ = ["application_matrices", "glued_wilkinson", "lanczos_laplacian_1d",
+           "clustered_spectrum", "graded_matrix"]
+
+
+def glued_wilkinson(n_blocks: int = 10, block: int = 21,
+                    glue: float = 1e-4) -> tuple[np.ndarray, np.ndarray]:
+    """Glued Wilkinson matrix: W⁺ blocks coupled by tiny glue entries.
+
+    A classical stetester stress case: each block contributes pairs of
+    near-identical eigenvalues and the glue splits them at the ~glue
+    scale — heavy clustering for MRRR, heavy deflation for D&C.
+    """
+    m = (block - 1) // 2
+    dblk = np.abs(np.arange(block) - m).astype(np.float64)
+    d = np.tile(dblk, n_blocks)
+    e = []
+    for b in range(n_blocks):
+        e.extend([1.0] * (block - 1))
+        if b != n_blocks - 1:
+            e.append(glue)
+    return d, np.array(e)
+
+
+def lanczos_laplacian_1d(n: int, npoints: int | None = None,
+                         seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Lanczos reduction (full reorthogonalization) of a 1-D Laplacian.
+
+    Produces the Jacobi matrix a Krylov eigensolver would hand to the
+    tridiagonal kernel — eigenvalues crowd toward the operator's
+    spectrum edges, the typical finite-element situation the paper's
+    introduction motivates.
+    """
+    npoints = npoints or (4 * n)
+    rng = np.random.default_rng(seed)
+    # 1-D Laplacian stencil applied implicitly.
+    main = 2.0 * np.ones(npoints)
+
+    def apply_op(v):
+        w = main * v
+        w[:-1] -= v[1:]
+        w[1:] -= v[:-1]
+        return w
+
+    q = rng.normal(size=npoints)
+    q /= np.linalg.norm(q)
+    Q = [q]
+    alpha = np.zeros(n)
+    beta = np.zeros(n - 1)
+    for j in range(n):
+        w = apply_op(Q[j])
+        alpha[j] = np.dot(Q[j], w)
+        w -= alpha[j] * Q[j]
+        if j > 0:
+            w -= beta[j - 1] * Q[j - 1]
+        # Full reorthogonalization keeps the Lanczos process honest.
+        for q_prev in Q:
+            w -= np.dot(q_prev, w) * q_prev
+        if j < n - 1:
+            beta[j] = np.linalg.norm(w)
+            if beta[j] == 0.0:
+                beta[j] = 1e-300
+                w = rng.normal(size=npoints)
+                w /= np.linalg.norm(w)
+            else:
+                w = w / beta[j]
+            Q.append(w)
+    return alpha, beta
+
+
+def clustered_spectrum(n: int, n_clusters: int = 8, spread: float = 1e-9,
+                       seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Spectrum of tight clusters at well-separated centers
+    (electronic-structure-like shell structure)."""
+    rng = np.random.default_rng(seed)
+    centers = np.sort(rng.uniform(-1.0, 1.0, size=n_clusters))
+    sizes = rng.multinomial(n - n_clusters, np.ones(n_clusters) / n_clusters)
+    sizes += 1
+    lam = np.concatenate([
+        c + spread * rng.standard_normal(s)
+        for c, s in zip(centers, sizes)])
+    return tridiagonal_from_spectrum(np.sort(lam), seed=seed + 1)
+
+
+def graded_matrix(n: int, ratio: float = 1e12,
+                  seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Strongly graded spectrum spanning ``ratio`` orders of magnitude."""
+    lam = np.geomspace(1.0 / ratio, 1.0, n)
+    return tridiagonal_from_spectrum(lam, seed=seed + 2)
+
+
+def application_matrices(max_n: int = 500) -> list[tuple[str, np.ndarray,
+                                                         np.ndarray]]:
+    """The Fig.-10 application set: list of ``(name, d, e)``."""
+    out = []
+    d, e = glued_wilkinson(n_blocks=max(2, max_n // 42), block=21)
+    out.append((f"glued-wilkinson-{len(d)}", d, e))
+    for n in (max_n // 4, max_n // 2, max_n):
+        d, e = lanczos_laplacian_1d(n)
+        out.append((f"lanczos-laplacian-{n}", d, e))
+    d, e = clustered_spectrum(max_n // 2)
+    out.append((f"clustered-{max_n // 2}", d, e))
+    d, e = graded_matrix(max_n // 2)
+    out.append((f"graded-{max_n // 2}", d, e))
+    return out

@@ -1,0 +1,148 @@
+"""Table III test matrices (types 1–15).
+
+Types 1–9 are defined by their eigenvalue distribution (with
+``k = 1.0e6`` and ``ulp`` the relative machine precision, as in the
+paper); the tridiagonal realization applies a Haar-random orthogonal
+similarity to ``diag(λ)`` and reduces back to tridiagonal form, the
+standard LAPACK ``stetester`` construction.  Types 10–15 are classical
+matrices with direct formulas.
+
+=====  ======================================================
+Type   Description (paper Table III)
+=====  ======================================================
+1      λ₁ = 1, λᵢ = 1/k
+2      λᵢ = 1 (i < n), λₙ = 1/k              (~100 % deflation)
+3      λᵢ = k^(−(i−1)/(n−1))                 (~50 % deflation)
+4      λᵢ = 1 − ((i−1)/(n−1))(1 − 1/k)       (~20 % deflation)
+5      n random, log-uniformly distributed
+6      n random numbers
+7      λᵢ = ulp·i (i < n), λₙ = 1
+8      λ₁ = ulp, λᵢ = 1 + i·√ulp, λₙ = 2
+9      λ₁ = 1, λᵢ = λᵢ₋₁ + 100·ulp
+10     (1, 2, 1) Toeplitz tridiagonal
+11     Wilkinson matrix W⁺
+12     Clement matrix
+13     Legendre (Jacobi matrix of Legendre polynomials)
+14     Laguerre
+15     Hermite
+=====  ======================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.householder import tridiagonalize
+
+__all__ = ["MATRIX_TYPES", "test_matrix", "spectrum_of_type",
+           "tridiagonal_from_spectrum", "matrix_description"]
+
+_ULP = np.finfo(np.float64).eps
+MATRIX_TYPES = tuple(range(1, 16))
+
+_DESCRIPTIONS = {
+    1: "lam_1=1, lam_i=1/k",
+    2: "lam_i=1, lam_n=1/k (~100% deflation)",
+    3: "lam_i=k^(-(i-1)/(n-1)) (~50% deflation)",
+    4: "lam_i=1-((i-1)/(n-1))(1-1/k) (~20% deflation)",
+    5: "random, log-uniform",
+    6: "random",
+    7: "lam_i=ulp*i, lam_n=1",
+    8: "lam_1=ulp, lam_i=1+i*sqrt(ulp), lam_n=2",
+    9: "lam_1=1, lam_i=lam_{i-1}+100*ulp",
+    10: "(1,2,1) tridiagonal",
+    11: "Wilkinson matrix",
+    12: "Clement matrix",
+    13: "Legendre matrix",
+    14: "Laguerre matrix",
+    15: "Hermite matrix",
+}
+
+
+def matrix_description(mtype: int) -> str:
+    return _DESCRIPTIONS[mtype]
+
+
+def spectrum_of_type(mtype: int, n: int, k: float = 1.0e6,
+                     seed: int = 0) -> np.ndarray | None:
+    """Prescribed eigenvalues for types 1–9; None for direct types."""
+    i = np.arange(1, n + 1, dtype=np.float64)
+    rng = np.random.default_rng(seed + 1000 * mtype + n)
+    if mtype == 1:
+        lam = np.full(n, 1.0 / k)
+        lam[0] = 1.0
+    elif mtype == 2:
+        lam = np.ones(n)
+        lam[-1] = 1.0 / k
+    elif mtype == 3:
+        lam = k ** (-(i - 1) / max(n - 1, 1))
+    elif mtype == 4:
+        lam = 1.0 - ((i - 1) / max(n - 1, 1)) * (1.0 - 1.0 / k)
+    elif mtype == 5:
+        lam = np.exp(rng.uniform(np.log(1.0 / k), 0.0, size=n))
+    elif mtype == 6:
+        lam = rng.uniform(-1.0, 1.0, size=n)
+    elif mtype == 7:
+        lam = _ULP * i
+        lam[-1] = 1.0
+    elif mtype == 8:
+        lam = 1.0 + i * np.sqrt(_ULP)
+        lam[0] = _ULP
+        lam[-1] = 2.0
+    elif mtype == 9:
+        lam = 1.0 + 100.0 * _ULP * (i - 1)
+    else:
+        return None
+    return lam
+
+
+def tridiagonal_from_spectrum(lam: np.ndarray,
+                              seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Tridiagonal matrix with the prescribed spectrum.
+
+    Applies a Haar-random orthogonal similarity (QR of a Gaussian
+    matrix) to diag(λ) and reduces to tridiagonal form — the dense
+    matrix is exactly symmetric with exactly the requested eigenvalues
+    up to the similarity's rounding.
+    """
+    lam = np.asarray(lam, dtype=np.float64)
+    n = lam.shape[0]
+    if n == 1:
+        return lam.copy(), np.empty(0)
+    rng = np.random.default_rng(seed)
+    g = rng.normal(size=(n, n))
+    q, r = np.linalg.qr(g)
+    q *= np.sign(np.diag(r))[None, :]   # Haar correction
+    a = (q * lam[None, :]) @ q.T
+    a = 0.5 * (a + a.T)
+    tri = tridiagonalize(a)
+    return tri.d, tri.e
+
+
+def test_matrix(mtype: int, n: int, *, k: float = 1.0e6,
+                seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the Table III matrix of the given type and size."""
+    if mtype not in MATRIX_TYPES:
+        raise ValueError(f"unknown matrix type {mtype}")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    lam = spectrum_of_type(mtype, n, k, seed)
+    if lam is not None:
+        return tridiagonal_from_spectrum(lam, seed=seed + mtype)
+
+    i = np.arange(1, n, dtype=np.float64)
+    if mtype == 10:                       # (1,2,1) Toeplitz
+        return 2.0 * np.ones(n), np.ones(n - 1)
+    if mtype == 11:                       # Wilkinson W+
+        m = (n - 1) / 2.0
+        d = np.abs(np.arange(n) - m)
+        return d.astype(np.float64), np.ones(n - 1)
+    if mtype == 12:                       # Clement
+        return np.zeros(n), np.sqrt(i * (n - i))
+    if mtype == 13:                       # Legendre (Jacobi matrix)
+        return np.zeros(n), i / np.sqrt(4.0 * i * i - 1.0)
+    if mtype == 14:                       # Laguerre (alpha = 0)
+        return 2.0 * np.arange(1, n + 1, dtype=np.float64) - 1.0, i
+    if mtype == 15:                       # Hermite
+        return np.zeros(n), np.sqrt(i / 2.0)
+    raise AssertionError("unreachable")

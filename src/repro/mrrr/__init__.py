@@ -1,0 +1,14 @@
+"""MRRR symmetric tridiagonal eigensolver (MR³-SMP equivalent)."""
+
+from .bisect import (gershgorin, sturm_count, bisect_eigenvalues,
+                     sturm_count_ldl, bisect_ldl)
+from .ldl import LDL, ldl_factor, dstqds, dqds_progressive, twist_data
+from .twisted import getvec, getvec_batch
+from .solver import mrrr_eigh, MRRRResult, WorkRecord
+
+__all__ = [
+    "gershgorin", "sturm_count", "bisect_eigenvalues", "sturm_count_ldl",
+    "bisect_ldl", "LDL", "ldl_factor", "dstqds", "dqds_progressive",
+    "twist_data", "getvec", "getvec_batch", "mrrr_eigh", "MRRRResult",
+    "WorkRecord",
+]

@@ -1,0 +1,36 @@
+"""Task-flow runtime (QUARK equivalent) used by the D&C eigensolver.
+
+Public surface:
+
+* :class:`~repro.runtime.task.DataHandle`, :class:`~repro.runtime.task.Task`,
+  :class:`~repro.runtime.task.TaskCost` and the access qualifiers
+  ``INPUT`` / ``OUTPUT`` / ``INOUT`` / ``GATHERV``;
+* :class:`~repro.runtime.dag.TaskGraph` — dependency analysis;
+* :class:`~repro.runtime.scheduler.SequentialScheduler` /
+  :class:`~repro.runtime.scheduler.ThreadScheduler` — real execution;
+* :class:`~repro.runtime.simulator.Machine` /
+  :class:`~repro.runtime.simulator.SimulatedMachine` — deterministic
+  discrete-event execution on a virtual multicore;
+* :class:`~repro.runtime.quark.Quark` — QUARK-style facade;
+* :class:`~repro.runtime.trace.Trace` — schedule recording/analysis.
+"""
+
+from .task import (Access, DataHandle, Task, TaskCost,
+                   INPUT, OUTPUT, INOUT, GATHERV)
+from .dag import TaskGraph
+from .scheduler import SequentialScheduler, ThreadScheduler
+from .simulator import Machine, SimulatedMachine
+from .quark import Quark
+from .hetero import Accelerator, HeteroMachine, GPU_OFFLOAD_POLICY
+from .distributed import ClusterMachine, Network, tree_placement
+from .trace import Trace, TraceEvent, PAPER_KERNELS
+
+__all__ = [
+    "Access", "DataHandle", "Task", "TaskCost",
+    "INPUT", "OUTPUT", "INOUT", "GATHERV",
+    "TaskGraph", "SequentialScheduler", "ThreadScheduler",
+    "Machine", "SimulatedMachine", "Quark",
+    "Accelerator", "HeteroMachine", "GPU_OFFLOAD_POLICY",
+    "ClusterMachine", "Network", "tree_placement",
+    "Trace", "TraceEvent", "PAPER_KERNELS",
+]

@@ -1,0 +1,169 @@
+"""Distributed-memory task-flow prototype (paper future work, DPLASMA).
+
+"For future work, we plan to study the implementation for both
+heterogeneous and distributed architectures, in the MAGMA and DPLASMA
+libraries."  This module runs the unchanged task DAG across several
+simulated nodes: every task executes on one node's cores, data handles
+live on the node that last wrote them, and reading a remote handle
+charges an α–β network transfer — the PaRSEC/DPLASMA execution model in
+miniature.
+
+Placement follows data affinity by default (run where most input bytes
+live, break ties toward the least-loaded node), or a user-supplied
+``placement(task) -> node`` — e.g. the owner-computes tree partition
+used by the distributed-D&C study in the EXT-4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .dag import TaskGraph
+from .scheduler import _ReadyQueue
+from .simulator import Machine
+from .task import Access, Task
+from .trace import Trace, TraceEvent
+
+__all__ = ["Network", "ClusterMachine", "tree_placement"]
+
+
+@dataclass(frozen=True)
+class Network:
+    """α–β interconnect model between nodes."""
+
+    alpha: float = 2e-5             # per-message latency (s)
+    beta: float = 1.0 / 6e9         # per-byte time (s/byte)
+
+
+def tree_placement(n: int, n_nodes: int) -> Callable[[Task], int]:
+    """Owner-computes placement for the D&C DAG: a task tagged with a
+    column range ``(lo, hi)`` runs on the node owning column lo."""
+    def place(task: Task) -> Optional[int]:
+        tag = task.tag
+        if isinstance(tag, tuple) and len(tag) == 2 \
+                and isinstance(tag[0], int):
+            return min(n_nodes - 1, tag[0] * n_nodes // n)
+        return None
+    return place
+
+
+class ClusterMachine:
+    """Discrete-event executor of one task DAG over several nodes.
+
+    Parameters
+    ----------
+    n_nodes : number of identical nodes.
+    machine : per-node CPU model (cores, rates).
+    network : interconnect α–β model.
+    placement : optional ``task -> node`` (None = data affinity).
+    execute : run the functional payloads (False replays a solved graph).
+    """
+
+    def __init__(self, n_nodes: int = 2,
+                 machine: Optional[Machine] = None,
+                 network: Optional[Network] = None,
+                 placement: Optional[Callable[[Task], Optional[int]]] = None,
+                 execute: bool = True):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self.machine = machine or Machine()
+        self.network = network or Network()
+        self.placement = placement
+        self.execute = execute
+        self.trace: Optional[Trace] = None
+        self.bytes_on_wire = 0.0
+        self.n_messages = 0
+
+    def run(self, graph: TaskGraph) -> Trace:
+        graph.validate_acyclic()
+        m = self.machine
+        cpn = m.n_cores                           # cores per node
+        n_workers = self.n_nodes * cpn
+        trace = Trace(n_workers=n_workers)
+        pending = {t.uid: t.n_deps for t in graph.tasks}
+        ready = _ReadyQueue()
+        for t in graph.tasks:
+            if pending[t.uid] == 0:
+                ready.push(t)
+        free = [list(range(node * cpn + cpn - 1, node * cpn - 1, -1))
+                for node in range(self.n_nodes)]
+        load = [0.0] * self.n_nodes
+        #: handle uid -> (owner node, resident bytes estimate)
+        location: dict[int, tuple[int, float]] = {}
+        running: list[tuple[float, float, Task, int, int]] = []
+        now = 0.0
+        done = 0
+        total = len(graph.tasks)
+        deferred: list[Task] = []
+        self.bytes_on_wire = 0.0
+        self.n_messages = 0
+
+        def choose_node(task: Task) -> int:
+            if self.placement is not None:
+                forced = self.placement(task)
+                if forced is not None:
+                    return forced
+            # Data affinity: node holding the most input bytes.
+            weights = [0.0] * self.n_nodes
+            for handle, _mode in task.accesses:
+                loc = location.get(handle.uid)
+                if loc is not None:
+                    weights[loc[0]] += loc[1]
+            best = max(range(self.n_nodes),
+                       key=lambda nd: (weights[nd], -load[nd]))
+            return best
+
+        while done < total:
+            candidates: list[Task] = deferred
+            deferred = []
+            while len(ready):
+                candidates.append(ready.pop())
+            for task in candidates:
+                node = choose_node(task)
+                if not free[node]:
+                    # Preferred node busy: steal to any free node (the
+                    # dynamic-scheduling half of the DPLASMA model).
+                    alts = [nd for nd in range(self.n_nodes) if free[nd]]
+                    if not alts:
+                        deferred.append(task)
+                        continue
+                    node = max(alts, key=lambda nd: -load[nd])
+                worker = free[node].pop()
+                if self.execute:
+                    task.run()
+                task.mark_done()
+                cost = task.resolved_cost()
+                comm = 0.0
+                for handle, mode in task.accesses:
+                    loc = location.get(handle.uid)
+                    if loc is not None and loc[0] != node:
+                        comm += self.network.alpha \
+                            + loc[1] * self.network.beta
+                        self.bytes_on_wire += loc[1]
+                        self.n_messages += 1
+                    if mode is not Access.INPUT:
+                        location[handle.uid] = (
+                            node, max(cost.bytes_moved,
+                                      cost.flops * 8e-3, 4096.0))
+                dur = comm + m.duration_solo(cost, task.name)
+                load[node] += dur
+                running.append((now + dur, now, task, worker, node))
+            if not running:
+                if done < total:
+                    raise RuntimeError("cluster deadlock")
+                break
+            running.sort(key=lambda r: r[0])
+            end, start, task, worker, node = running.pop(0)
+            now = end
+            trace.record(TraceEvent(task.uid, task.name, worker,
+                                    start, end, task.tag))
+            free[node].append(worker)
+            for s in task.successors:
+                pending[s.uid] -= 1
+                if pending[s.uid] == 0:
+                    ready.push(s)
+            done += 1
+        self.trace = trace
+        return trace

@@ -1,0 +1,76 @@
+"""A QUARK-flavoured facade over the task-flow runtime.
+
+``Quark`` bundles a :class:`~repro.runtime.dag.TaskGraph` with an execution
+backend so algorithm code reads like the original PLASMA sources: a master
+submits tasks with data-access qualifiers and finally calls ``barrier()``
+(QUARK's ``QUARK_Barrier``) to execute everything submitted so far.
+
+Backends
+--------
+``"sequential"``
+    Submission-order execution on the calling thread.
+``"threads"``
+    Real out-of-order execution on ``n_workers`` OS threads.
+``"simulated"``
+    Deterministic discrete-event execution on a virtual
+    :class:`~repro.runtime.simulator.Machine` (default: the paper's
+    16-core dual-socket Xeon).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from .dag import TaskGraph
+from .scheduler import SequentialScheduler, ThreadScheduler
+from .simulator import Machine, SimulatedMachine
+from .task import Access, DataHandle, Task, TaskCost
+from .trace import Trace
+
+
+class Quark:
+    """Sequential-task-flow entry point, mirroring the QUARK C API."""
+
+    def __init__(self, backend: str = "sequential", *,
+                 n_workers: Optional[int] = None,
+                 machine: Optional[Machine] = None):
+        self.backend = backend
+        self.machine = machine if machine is not None else (
+            Machine() if backend == "simulated" else None)
+        if n_workers is None:
+            n_workers = self.machine.n_cores if self.machine else (
+                4 if backend == "threads" else 1)
+        self.n_workers = n_workers
+        self.graph = TaskGraph()
+        self.traces: list[Trace] = []
+
+    # -- submission ------------------------------------------------------------
+    def insert_task(self, func: Callable[..., Any],
+                    accesses: Sequence[tuple[DataHandle, Access]] = (),
+                    **kwargs: Any) -> Task:
+        return self.graph.insert_task(func, accesses, **kwargs)
+
+    def new_handle(self, name: str = "", payload: Any = None) -> DataHandle:
+        return DataHandle(name, payload)
+
+    # -- execution ---------------------------------------------------------------
+    def _make_scheduler(self):
+        if self.backend == "sequential":
+            return SequentialScheduler()
+        if self.backend == "threads":
+            return ThreadScheduler(self.n_workers)
+        if self.backend == "simulated":
+            return SimulatedMachine(self.machine, n_workers=self.n_workers)
+        raise ValueError(f"unknown backend {self.backend!r}")
+
+    def barrier(self) -> Trace:
+        """Execute every task submitted since the previous barrier."""
+        scheduler = self._make_scheduler()
+        trace = scheduler.run(self.graph)
+        self.traces.append(trace)
+        self.graph = TaskGraph()
+        return trace
+
+    @property
+    def last_trace(self) -> Optional[Trace]:
+        return self.traces[-1] if self.traces else None

@@ -1,0 +1,247 @@
+"""Deterministic discrete-event simulation of a multicore machine.
+
+The paper evaluates on a dual-socket 16-core Xeon E5-2650v2.  Python's GIL
+makes fine-grained *pure-Python* tasks serialize, so wall-clock thread runs
+cannot reproduce the paper's scalability curves faithfully.  Instead, this
+backend executes the *identical task DAG* (same tasks, same dependencies,
+same out-of-order readiness rule) on ``P`` virtual cores and charges each
+task a duration derived from its declared :class:`~repro.runtime.task.TaskCost`:
+
+* compute-bound tasks (``flops`` dominated) progress at the core's flop
+  rate — they scale perfectly with cores, like the paper's GEMM/secular
+  kernels;
+* memory-bound tasks (``bytes_moved`` dominated: ``PermuteV``,
+  ``CopyBackDeflated``) share their socket's bandwidth with every other
+  memory-bound task running on the same socket, with a per-core ceiling.
+  This processor-sharing fluid model reproduces the bandwidth saturation
+  the paper reports (Fig. 4/5: ~4 threads saturate one socket).
+
+The functional payload of every task still runs (in virtual-time order),
+so deflation-dependent task costs — evaluated lazily — reflect the real
+matrix, exactly as in the paper where the DAG is matrix-independent but
+task *work* is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .dag import TaskGraph
+from .scheduler import _ReadyQueue
+from .task import Task, TaskCost
+from .trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Virtual machine model (defaults approximate the paper's testbed).
+
+    ``core_gflops``
+        Double-precision rate of one core for BLAS-3-like kernels.
+    ``kernel_efficiency``
+        Multiplier applied to ``core_gflops`` for non-GEMM kernels
+        (divides/iterative secular work run far below peak).
+    ``socket_bw``
+        Memory bandwidth of one socket, bytes/s.
+    ``stream_bw``
+        Bandwidth a single core can draw, bytes/s (socket saturates at
+        ``socket_bw / stream_bw`` cores; ~4 on the paper's machine).
+    ``task_overhead``
+        Fixed per-task runtime/scheduling overhead, seconds.
+    """
+
+    n_cores: int = 16
+    n_sockets: int = 2
+    core_gflops: float = 18.0
+    kernel_efficiency: float = 0.25
+    socket_bw: float = 40e9
+    stream_bw: float = 10e9
+    task_overhead: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.n_cores % self.n_sockets:
+            raise ValueError("n_cores must be a multiple of n_sockets")
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.n_cores // self.n_sockets
+
+    def socket_of(self, worker: int) -> int:
+        return worker // self.cores_per_socket
+
+    # -- cost -> work decomposition ------------------------------------------
+    def work_of(self, cost: TaskCost, name: str = "") -> tuple[str, float, float]:
+        """Classify a task and return ``(kind, work, overhead_seconds)``.
+
+        ``kind`` is ``"flops"`` or ``"bytes"``; ``work`` is the service
+        requirement in that unit.  Efficiency: GEMM-like kernels
+        (``UpdateVect``) run at full ``core_gflops``; everything else at
+        ``kernel_efficiency * core_gflops``.
+        """
+        rate = self.flop_rate(name)
+        t_flop = cost.flops / rate if cost.flops else 0.0
+        t_mem = cost.bytes_moved / self.stream_bw if cost.bytes_moved else 0.0
+        over = self.task_overhead + cost.serial_overhead
+        if t_mem > t_flop:
+            return "bytes", cost.bytes_moved, over
+        return "flops", cost.flops, over
+
+    def flop_rate(self, name: str = "") -> float:
+        full = {"UpdateVect", "GEMM", "STEDC"}
+        eff = 1.0 if name in full else self.kernel_efficiency
+        return self.core_gflops * 1e9 * eff
+
+    def duration_solo(self, cost: TaskCost, name: str = "") -> float:
+        """Duration of the task running alone on one core (no contention)."""
+        kind, work, over = self.work_of(cost, name)
+        if kind == "bytes":
+            return over + work / self.stream_bw
+        return over + work / self.flop_rate(name)
+
+
+class _Running:
+    __slots__ = ("task", "worker", "socket", "kind", "remaining",
+                 "overhead_left", "t_start")
+
+    def __init__(self, task: Task, worker: int, socket: int, kind: str,
+                 work: float, overhead: float, t_start: float):
+        self.task = task
+        self.worker = worker
+        self.socket = socket
+        self.kind = kind
+        self.remaining = work
+        self.overhead_left = overhead
+        self.t_start = t_start
+
+
+class SimulatedMachine:
+    """Discrete-event executor of a :class:`TaskGraph` on a :class:`Machine`.
+
+    Fluid processor-sharing semantics: on every task start/finish the
+    instantaneous rates of all running tasks are recomputed; memory-bound
+    tasks on socket *s* each progress at
+    ``min(stream_bw, socket_bw / n_mem(s))`` bytes/s.
+    """
+
+    def __init__(self, machine: Machine | None = None,
+                 n_workers: Optional[int] = None,
+                 execute: bool = True):
+        base = machine or Machine()
+        if n_workers is not None and n_workers != base.n_cores:
+            # Re-derive a machine with the requested core count on the
+            # same sockets (cores fill socket 0 first, like taskset).
+            ns = base.n_sockets if n_workers >= base.cores_per_socket else 1
+            # Keep per-socket geometry: workers are mapped to sockets by
+            # the *original* cores_per_socket; we keep base geometry and
+            # just use fewer workers.
+            self.machine = base
+            self.n_workers = n_workers
+        else:
+            self.machine = base
+            self.n_workers = base.n_cores
+        self.execute = execute
+        self.trace: Optional[Trace] = None
+
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph) -> Trace:
+        m = self.machine
+        graph.validate_acyclic()
+        trace = Trace(n_workers=self.n_workers)
+        ready = _ReadyQueue()
+        pending = {t.uid: t.n_deps for t in graph.tasks}
+        for t in graph.tasks:
+            if pending[t.uid] == 0:
+                ready.push(t)
+
+        free_workers = list(range(self.n_workers - 1, -1, -1))
+        running: list[_Running] = []
+        now = 0.0
+        n_done = 0
+        total = len(graph.tasks)
+
+        def rates() -> dict[int, float]:
+            """Instantaneous progress rate for each running task (by uid)."""
+            mem_per_socket: dict[int, int] = {}
+            for r in running:
+                if r.kind == "bytes":
+                    mem_per_socket[r.socket] = mem_per_socket.get(r.socket, 0) + 1
+            out: dict[int, float] = {}
+            for r in running:
+                if r.kind == "bytes":
+                    share = m.socket_bw / mem_per_socket[r.socket]
+                    out[r.task.uid] = min(m.stream_bw, share)
+                else:
+                    out[r.task.uid] = m.flop_rate(r.task.name)
+            return out
+
+        while n_done < total:
+            # Start as many ready tasks as there are free workers.  Pick
+            # the free worker on the least-loaded socket (OS schedulers and
+            # work stealing spread threads across sockets, which matters
+            # for the bandwidth model).
+            while len(ready) and free_workers:
+                task = ready.pop()
+                busy: dict[int, int] = {}
+                for r in running:
+                    busy[r.socket] = busy.get(r.socket, 0) + 1
+                free_workers.sort(
+                    key=lambda w: (busy.get(m.socket_of(w), 0), w),
+                    reverse=True)
+                worker = free_workers.pop()
+                if self.execute:
+                    task.run()
+                task.mark_done()  # functional effect done; timing continues
+                cost = task.resolved_cost()
+                kind, work, over = m.work_of(cost, task.name)
+                running.append(_Running(task, worker, m.socket_of(worker),
+                                        kind, work, over, now))
+
+            if not running:
+                if n_done < total:
+                    raise RuntimeError(
+                        "deadlock: no running tasks but graph incomplete")
+                break
+
+            # Advance to the next completion under current rates.
+            rt = rates()
+            dt = min((r.overhead_left +
+                      (r.remaining / rt[r.task.uid] if r.remaining else 0.0))
+                     for r in running)
+            now += dt
+            still: list[_Running] = []
+            finished: list[_Running] = []
+            for r in running:
+                d = dt
+                if r.overhead_left > 0.0:
+                    used = min(r.overhead_left, d)
+                    r.overhead_left -= used
+                    d -= used
+                if d > 0.0 and r.remaining > 0.0:
+                    r.remaining -= rt[r.task.uid] * d
+                # Work units are flops/bytes, so 1e-3 of either is nothing.
+                if r.overhead_left <= 1e-18 and r.remaining <= 1e-3:
+                    finished.append(r)
+                else:
+                    still.append(r)
+            if not finished:
+                # Guard against FP stagnation: force the closest task out.
+                r = min(running, key=lambda r: r.remaining + r.overhead_left)
+                r.remaining = 0.0
+                r.overhead_left = 0.0
+                finished = [r]
+                still = [x for x in running if x is not r]
+            running = still
+            for r in finished:
+                trace.record(TraceEvent(r.task.uid, r.task.name, r.worker,
+                                        r.t_start, now, r.task.tag))
+                free_workers.append(r.worker)
+                for s in r.task.successors:
+                    pending[s.uid] -= 1
+                    if pending[s.uid] == 0:
+                        ready.push(s)
+                n_done += 1
+            free_workers.sort(reverse=True)
+
+        self.trace = trace
+        return trace

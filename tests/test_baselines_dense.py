@@ -1,0 +1,123 @@
+"""Tests for the dense related-work baselines (Jacobi, QDWH — paper
+Sec. II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import jacobi_eigh, qdwh_eigh, qdwh_polar
+
+
+def sym(rng, n):
+    A = rng.normal(size=(n, n))
+    return 0.5 * (A + A.T)
+
+
+def check_eig(A, lam, V, tol):
+    n = A.shape[0]
+    scale = max(1.0, np.max(np.abs(A)))
+    assert np.all(np.diff(lam) >= -1e-300)
+    assert np.max(np.abs(V.T @ V - np.eye(n))) < tol * n
+    assert np.max(np.abs(A @ V - V * lam[None, :])) < tol * n * scale
+    np.testing.assert_allclose(lam, np.linalg.eigvalsh(A),
+                               atol=tol * n * scale)
+
+
+# ---------------------------------------------------------------------------
+# Jacobi
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 5, 40])
+def test_jacobi_random(n):
+    rng = np.random.default_rng(n)
+    A = sym(rng, n)
+    lam, V = jacobi_eigh(A)
+    check_eig(A, lam, V, 1e-13)
+
+
+def test_jacobi_diagonal_is_instant():
+    d = np.array([3.0, -1.0, 2.0])
+    lam, V = jacobi_eigh(np.diag(d))
+    np.testing.assert_allclose(lam, np.sort(d))
+
+
+def test_jacobi_high_relative_accuracy():
+    # Jacobi's specialty: tiny eigenvalues of graded matrices keep
+    # relative accuracy.
+    D = np.diag(10.0 ** -np.arange(8, dtype=float))
+    rng = np.random.default_rng(0)
+    Q, _ = np.linalg.qr(rng.normal(size=(8, 8)))
+    A = D  # already diagonal: exact case
+    lam, V = jacobi_eigh(A)
+    np.testing.assert_allclose(lam, np.sort(np.diag(D)), rtol=1e-14)
+
+
+def test_jacobi_errors():
+    with pytest.raises(ValueError):
+        jacobi_eigh(np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        jacobi_eigh(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+
+# ---------------------------------------------------------------------------
+# QDWH
+# ---------------------------------------------------------------------------
+
+def test_qdwh_polar_orthogonal_factor():
+    rng = np.random.default_rng(1)
+    for n in (5, 25, 60):
+        A = sym(rng, n)
+        U = qdwh_polar(A)
+        assert np.max(np.abs(U.T @ U - np.eye(n))) < 1e-12 * n
+        # H = Uᵀ A is the symmetric positive-semidefinite polar part.
+        H = U.T @ A
+        assert np.max(np.abs(H - H.T)) < 1e-11 * n
+        assert np.min(np.linalg.eigvalsh(0.5 * (H + H.T))) > -1e-10
+
+
+def test_qdwh_polar_of_orthogonal_is_identity_map():
+    rng = np.random.default_rng(2)
+    Q, _ = np.linalg.qr(rng.normal(size=(20, 20)))
+    U = qdwh_polar(Q)
+    np.testing.assert_allclose(U, Q, atol=1e-12)
+
+
+def test_qdwh_polar_ill_conditioned():
+    rng = np.random.default_rng(3)
+    n = 30
+    Q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    A = (Q * np.geomspace(1e-8, 1.0, n)[None, :]) @ Q.T
+    U = qdwh_polar(A)
+    assert np.max(np.abs(U.T @ U - np.eye(n))) < 1e-10 * n
+
+
+@pytest.mark.parametrize("n", [4, 20, 60])
+def test_qdwh_eigh_random(n):
+    rng = np.random.default_rng(n + 100)
+    A = sym(rng, n)
+    lam, V = qdwh_eigh(A)
+    check_eig(A, lam, V, 5e-12)
+
+
+def test_qdwh_eigh_multiple_eigenvalues():
+    # Degenerate split path: repeated eigenvalues around the median.
+    rng = np.random.default_rng(4)
+    Q, _ = np.linalg.qr(rng.normal(size=(24, 24)))
+    lam_true = np.repeat([-1.0, 0.0, 2.0], 8)
+    A = (Q * lam_true[None, :]) @ Q.T
+    lam, V = qdwh_eigh(A)
+    check_eig(0.5 * (A + A.T), lam, V, 1e-10)
+
+
+def test_qdwh_errors():
+    with pytest.raises(ValueError):
+        qdwh_eigh(np.ones((2, 3)))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 2 ** 31 - 1))
+def test_property_qdwh_polar_unitary(n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n)) + np.eye(n) * 0.1
+    U = qdwh_polar(A)
+    assert np.max(np.abs(U.T @ U - np.eye(n))) < 1e-10 * n

@@ -1,0 +1,179 @@
+"""End-to-end correctness of the task-flow D&C solver (repro.core.solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import dc_eigh
+from repro.core import DCOptions, eigh
+
+
+def tridiag(d, e):
+    T = np.diag(np.asarray(d, dtype=float))
+    e = np.asarray(e, dtype=float)
+    if e.size:
+        T += np.diag(e, 1) + np.diag(e, -1)
+    return T
+
+
+def check(d, e, lam, V, tol=2e-13):
+    n = len(d)
+    T = tridiag(d, e)
+    scale = max(1.0, np.max(np.abs(T)))
+    assert np.all(np.diff(lam) >= -1e-300)
+    assert np.max(np.abs(V.T @ V - np.eye(n))) < tol * n
+    assert np.max(np.abs(T @ V - V * lam[None, :])) < tol * n * scale
+    lam_ref = np.linalg.eigvalsh(T)
+    np.testing.assert_allclose(lam, lam_ref, atol=tol * n * scale)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 64, 65, 130, 400])
+def test_random_matrices(n):
+    rng = np.random.default_rng(n)
+    d = rng.normal(size=n)
+    e = rng.normal(size=n - 1)
+    lam, V = dc_eigh(d, e)
+    check(d, e, lam, V)
+
+
+def test_toeplitz_121_known_spectrum():
+    n = 200
+    d = 2.0 * np.ones(n)
+    e = np.ones(n - 1)
+    lam, V = dc_eigh(d, e)
+    ref = 2.0 - 2.0 * np.cos(np.pi * np.arange(1, n + 1) / (n + 1))
+    np.testing.assert_allclose(lam, np.sort(ref), atol=1e-12)
+    check(d, e, lam, V)
+
+
+def test_wilkinson_clustered_pairs():
+    m = 60  # W121+: eigenvalue pairs agree to many digits
+    d = np.abs(np.arange(-m, m + 1)).astype(float)
+    e = np.ones(2 * m)
+    lam, V = dc_eigh(d, e)
+    check(d, e, lam, V)
+
+
+def test_identical_diagonal_full_deflation():
+    # All-equal diagonal with tiny couplings: massive deflation path.
+    n = 150
+    d = np.ones(n)
+    e = np.full(n - 1, 1e-14)
+    lam, V = dc_eigh(d, e, full_result=True).lam, None
+    res = dc_eigh(d, e, full_result=True)
+    check(d, e, res.lam, res.V)
+    assert res.total_deflation > 0.9
+
+
+def test_zero_offdiagonals():
+    rng = np.random.default_rng(3)
+    n = 100
+    d = rng.normal(size=n)
+    e = np.zeros(n - 1)
+    lam, V = dc_eigh(d, e)
+    check(d, e, lam, V)
+    np.testing.assert_allclose(lam, np.sort(d), atol=1e-14)
+
+
+def test_scaling_extreme_magnitudes():
+    rng = np.random.default_rng(4)
+    n = 80
+    d = rng.normal(size=n) * 1e301
+    e = rng.normal(size=n - 1) * 1e301
+    lam, V = dc_eigh(d, e)
+    lam_ref = np.linalg.eigvalsh(tridiag(d / 1e301, e / 1e301)) * 1e301
+    np.testing.assert_allclose(lam, lam_ref, rtol=1e-11)
+    assert np.max(np.abs(V.T @ V - np.eye(n))) < 1e-12
+
+
+def test_backends_bitwise_identical():
+    rng = np.random.default_rng(5)
+    n = 160
+    d = rng.normal(size=n)
+    e = rng.normal(size=n - 1)
+    lam_seq, V_seq = dc_eigh(d, e, backend="sequential")
+    lam_thr, V_thr = dc_eigh(d, e, backend="threads", n_workers=4)
+    lam_sim, V_sim = dc_eigh(d, e, backend="simulated")
+    np.testing.assert_array_equal(lam_seq, lam_thr)
+    np.testing.assert_array_equal(lam_seq, lam_sim)
+    np.testing.assert_array_equal(V_seq, V_thr)
+    np.testing.assert_array_equal(V_seq, V_sim)
+
+
+@pytest.mark.parametrize("variant", [
+    dict(extra_workspace=False),
+    dict(level_barrier=True),
+    dict(fork_join=True, level_barrier=True),
+    dict(minpart=16, nb=8),
+    dict(minpart=200),
+    dict(nb=1),
+])
+def test_scheduling_variants_do_not_change_numbers(variant):
+    rng = np.random.default_rng(6)
+    n = 120
+    d = rng.normal(size=n)
+    e = rng.normal(size=n - 1)
+    ref, _ = dc_eigh(d, e)
+    lam, V = dc_eigh(d, e, options=DCOptions(**variant))
+    check(d, e, lam, V)
+    # Same minpart => identical tree => bit-identical eigenvalues.
+    if "minpart" not in variant:
+        np.testing.assert_array_equal(lam, ref)
+
+
+def test_full_result_diagnostics():
+    rng = np.random.default_rng(7)
+    n = 200
+    d = rng.normal(size=n)
+    e = rng.normal(size=n - 1)
+    res = dc_eigh(d, e, backend="simulated", full_result=True)
+    assert res.makespan > 0
+    assert res.graph.n_tasks == len(res.trace.events)
+    assert 0.0 <= res.total_deflation <= 1.0
+    assert len(res.deflation_ratios()) == res.info.tree.count_leaves() - 1
+    kernels = set(res.trace.kernel_counts())
+    for expected in ("STEDC", "LAED4", "PermuteV", "UpdateVect",
+                     "Compute_deflation", "ComputeLocalW", "ReduceW",
+                     "ComputeVect", "CopyBackDeflated", "LASET",
+                     "SortEigenvectors"):
+        assert expected in kernels
+
+
+def test_dense_eigh_pipeline():
+    rng = np.random.default_rng(8)
+    n = 90
+    A = rng.normal(size=(n, n))
+    A = 0.5 * (A + A.T)
+    lam, V = eigh(A)
+    assert np.max(np.abs(A @ V - V * lam[None, :])) < 1e-11 * n
+    assert np.max(np.abs(V.T @ V - np.eye(n))) < 1e-12 * n
+    np.testing.assert_allclose(lam, np.linalg.eigvalsh(A), atol=1e-11 * n)
+
+
+def test_input_arrays_not_mutated():
+    rng = np.random.default_rng(9)
+    d = rng.normal(size=50)
+    e = rng.normal(size=49)
+    d0, e0 = d.copy(), e.copy()
+    dc_eigh(d, e)
+    np.testing.assert_array_equal(d, d0)
+    np.testing.assert_array_equal(e, e0)
+
+
+def test_bad_inputs():
+    with pytest.raises(ValueError):
+        dc_eigh(np.empty(0), np.empty(0))
+    with pytest.raises(ValueError):
+        dc_eigh(np.ones(4), np.ones(4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 90), st.integers(0, 2 ** 31 - 1))
+def test_property_dc_solves_random_tridiagonals(n, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(-10, 10, size=n)
+    e = rng.uniform(-10, 10, size=n - 1)
+    lam, V = dc_eigh(d, e, options=DCOptions(minpart=16))
+    check(d, e, lam, V)
+    # Trace invariant.
+    assert np.sum(lam) == pytest.approx(np.sum(d), abs=1e-9 * n * 10)

@@ -1,0 +1,201 @@
+"""Tests for the deflation kernel (repro.kernels.deflation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import deflate, rotation_chains
+from repro.kernels.deflation import GivensRotation
+
+
+def random_inputs(rng, n, n1):
+    d1 = np.sort(rng.normal(size=n1))
+    d2 = np.sort(rng.normal(size=n - n1))
+    d = np.concatenate([d1, d2])
+    z = rng.normal(size=n)
+    z[np.abs(z) < 1e-3] = 1e-3
+    rho = float(rng.normal())
+    if rho == 0:
+        rho = 0.5
+    return d, z, rho
+
+
+def rebuild_rank_one(d, z, rho, n1):
+    """Dense reference of the merged system in source-column order."""
+    zz = z.copy()
+    r = rho
+    if r < 0:
+        zz[n1:] = -zz[n1:]
+        r = -r
+    return np.diag(d) + r * np.outer(zz, zz)
+
+
+def apply_rotations_dense(M, rotations):
+    """Apply recorded rotations as a similarity transform on M."""
+    G = np.eye(M.shape[0])
+    for rr in rotations:
+        gi = G[:, rr.i].copy()
+        gj = G[:, rr.j].copy()
+        G[:, rr.i] = rr.c * gi + rr.s * gj
+        G[:, rr.j] = rr.c * gj - rr.s * gi
+    return G.T @ M @ G, G
+
+
+def test_basic_shapes_and_partition():
+    rng = np.random.default_rng(0)
+    d, z, rho = random_inputs(rng, 40, 17)
+    res = deflate(d, z, rho, 17)
+    assert res.k + res.d_defl.shape[0] == 40
+    assert res.dlamda.shape == (res.k,)
+    assert res.zsec.shape == (res.k,)
+    assert sorted(res.perm.tolist()) == list(range(40))
+    assert sum(res.ctot) == res.k
+    assert np.all(np.diff(res.dlamda) >= 0)
+    assert res.rho > 0
+
+
+def test_no_deflation_on_well_separated_system():
+    rng = np.random.default_rng(1)
+    n, n1 = 30, 15
+    d = np.concatenate([np.sort(rng.uniform(-10, 0, n1)),
+                        np.sort(rng.uniform(1, 10, n - n1))])
+    z = rng.uniform(0.3, 1.0, size=n)
+    res = deflate(d, z, 2.0, n1)
+    assert res.k == n
+    assert len(res.rotations) == 0
+
+
+def test_small_z_deflates():
+    n, n1 = 10, 5
+    d = np.concatenate([np.sort(np.arange(n1, dtype=float)),
+                        np.sort(10.0 + np.arange(n - n1))])
+    z = np.ones(n)
+    z[3] = 1e-300    # effectively decoupled
+    res = deflate(d, z, 1.0, n1)
+    assert res.k == n - 1
+    # The deflated eigenvalue is d[3], unchanged.
+    assert np.any(np.isclose(res.d_defl, d[3]))
+
+
+def test_identical_eigenvalues_rotate_away():
+    # Equal d with sizeable z: a Givens rotation must deflate one of them.
+    d = np.array([0.0, 1.0, 1.0, 2.0])
+    z = np.full(4, 0.5)
+    res = deflate(d, z, 1.0, 2)
+    assert res.k == 3
+    assert len(res.rotations) == 1
+    rot = res.rotations[0]
+    assert rot.c ** 2 + rot.s ** 2 == pytest.approx(1.0)
+
+
+def test_rotation_preserves_spectrum():
+    rng = np.random.default_rng(5)
+    n, n1 = 24, 12
+    base = np.sort(rng.normal(size=n1))
+    # Force coincident pairs across the two halves.
+    d = np.concatenate([base, base])
+    z = rng.uniform(0.2, 1.0, size=n)
+    rho = 1.3
+    res = deflate(d, z, rho, n1)
+    assert len(res.rotations) > 0
+    M = rebuild_rank_one(d, z, rho, n1)
+    Mr, G = apply_rotations_dense(M, res.rotations)
+    np.testing.assert_allclose(np.sort(np.linalg.eigvalsh(Mr)),
+                               np.sort(np.linalg.eigvalsh(M)), atol=1e-10)
+    # The reduced secular system + deflated values reproduce the spectrum.
+    lam_sec = np.linalg.eigvalsh(np.diag(res.dlamda)
+                                 + res.rho * np.outer(res.zsec, res.zsec))
+    lam_all = np.sort(np.concatenate([lam_sec, res.d_defl]))
+    np.testing.assert_allclose(lam_all, np.linalg.eigvalsh(M), atol=1e-8)
+
+
+def test_negative_rho_flips_z_tail():
+    rng = np.random.default_rng(8)
+    d, z, _ = random_inputs(rng, 20, 9)
+    res_pos = deflate(d, z, 1.0, 9)
+    zf = z.copy()
+    zf[9:] = -zf[9:]
+    res_neg = deflate(d, zf, -1.0, 9)
+    np.testing.assert_allclose(res_neg.dlamda, res_pos.dlamda)
+    np.testing.assert_allclose(res_neg.zsec, res_pos.zsec)
+    assert res_neg.rho == pytest.approx(res_pos.rho)
+
+
+def test_coltype_grouping_orders_1_2_3():
+    rng = np.random.default_rng(13)
+    d, z, rho = random_inputs(rng, 50, 25)
+    res = deflate(d, z, rho, 25)
+    k1, k2, k3 = res.ctot
+    # Group 1 columns come from the first child, group 3 from the second.
+    assert np.all(res.perm[:k1] < 25)
+    assert np.all(res.perm[k1 + k2:res.k] >= 25)
+    # rowidx must be a valid permutation of secular rows.
+    assert sorted(res.rowidx.tolist()) == list(range(res.k))
+    # dlamda ascending within each type group.
+    for sl in (slice(0, k1), slice(k1, k1 + k2), slice(k1 + k2, res.k)):
+        rows = res.rowidx[sl]
+        assert np.all(np.diff(res.dlamda[rows]) >= 0)
+
+
+def test_full_deflation_identity_like():
+    # rho so tiny every z entry deflates: k == 0, pure permutation merge.
+    n, n1 = 12, 6
+    d = np.concatenate([np.arange(n1, dtype=float),
+                        100.0 + np.arange(n - n1)])
+    z = np.ones(n)
+    res = deflate(d, z, 1e-300, n1)
+    assert res.k == 0
+    assert res.d_defl.shape == (n,)
+
+
+def test_zero_rho_fully_deflates():
+    # β = 0 means the blocks are exactly decoupled: sort-only merge.
+    d = np.array([3.0, 5.0, 1.0, 4.0])
+    res = deflate(d, np.ones(4), 0.0, 2)
+    assert res.k == 0
+    np.testing.assert_array_equal(res.d_defl, np.sort(d))
+    np.testing.assert_array_equal(np.sort(res.perm), np.arange(4))
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        deflate(np.ones(4), np.ones(4), 1.0, 0)
+    with pytest.raises(ValueError):
+        deflate(np.ones(4), np.zeros(4), 1.0, 2)
+
+
+def test_rotation_chains_partition():
+    rots = [GivensRotation(0, 1, 1.0, 0.0),
+            GivensRotation(1, 2, 1.0, 0.0),   # chains with previous
+            GivensRotation(5, 6, 1.0, 0.0),   # new chain
+            GivensRotation(6, 7, 1.0, 0.0)]
+    chains = rotation_chains(rots)
+    assert [len(c) for c in chains] == [2, 2]
+    # Chains cover disjoint column sets.
+    cols = [set()
+            for _ in chains]
+    for ci, ch in enumerate(chains):
+        for r in ch:
+            cols[ci] |= {r.i, r.j}
+    assert not (cols[0] & cols[1])
+    assert rotation_chains([]) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 40), st.integers(0, 2 ** 31 - 1))
+def test_property_deflation_preserves_spectrum(n, seed):
+    rng = np.random.default_rng(seed)
+    n1 = n // 2
+    d, z, rho = random_inputs(rng, n, n1)
+    res = deflate(d, z, rho, n1)
+    M = rebuild_rank_one(d, z, rho, n1)
+    lam_sec = (np.linalg.eigvalsh(np.diag(res.dlamda)
+                                  + res.rho * np.outer(res.zsec, res.zsec))
+               if res.k else np.empty(0))
+    lam_all = np.sort(np.concatenate([lam_sec, res.d_defl]))
+    scale = max(1.0, np.max(np.abs(d)) + abs(rho))
+    np.testing.assert_allclose(lam_all, np.linalg.eigvalsh(M),
+                               atol=5e-13 * n * scale)
+    # Permutation property and k-consistency.
+    assert sorted(res.perm.tolist()) == list(range(n))
+    assert res.k + len(res.d_defl) == n

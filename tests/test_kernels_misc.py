@@ -1,0 +1,196 @@
+"""Tests for scaling, Givens, stabilization and Householder kernels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (lanst, scale_tridiagonal, lartg, rot, lapy2,
+                           solve_secular, local_w_product, reduce_w,
+                           eigenvector_columns, tridiagonalize, apply_q)
+
+
+# ---------------------------------------------------------------------------
+# scaling
+# ---------------------------------------------------------------------------
+
+def test_lanst_norms():
+    d = np.array([1.0, -4.0, 2.0])
+    e = np.array([3.0, -0.5])
+    T = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    assert lanst("M", d, e) == 4.0
+    assert lanst("1", d, e) == np.max(np.sum(np.abs(T), axis=0))
+    assert lanst("F", d, e) == pytest.approx(np.linalg.norm(T))
+    assert lanst("M", np.empty(0), np.empty(0)) == 0.0
+
+
+def test_scale_noop_in_safe_range():
+    d = np.array([1.0, 2.0])
+    e = np.array([0.5])
+    ds, es, info = scale_tridiagonal(d, e)
+    assert not info.scaled
+    np.testing.assert_array_equal(ds, d)
+
+
+def test_scale_huge_matrix():
+    d = np.array([1e300, -1e301])
+    e = np.array([1e299])
+    ds, es, info = scale_tridiagonal(d, e)
+    assert info.scaled
+    assert lanst("M", ds, es) <= 1e290
+    lam = ds.copy()
+    info.unscale_eigenvalues(lam)
+    np.testing.assert_allclose(lam, d)
+
+
+def test_scale_tiny_matrix():
+    d = np.array([1e-300, 3e-301])
+    e = np.array([1e-302])
+    ds, es, info = scale_tridiagonal(d, e)
+    assert info.scaled
+    assert lanst("M", ds, es) >= 1e-200
+
+
+# ---------------------------------------------------------------------------
+# givens
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("f,g", [(3.0, 4.0), (-3.0, 4.0), (1e-200, 1e-200),
+                                 (5.0, 0.0), (0.0, 5.0), (1e150, 1e150)])
+def test_lartg_annihilates(f, g):
+    c, s, r = lartg(f, g)
+    assert c * f + s * g == pytest.approx(r, rel=1e-14)
+    assert -s * f + c * g == pytest.approx(0.0, abs=1e-14 * max(abs(f), abs(g), 1e-300))
+    assert c * c + s * s == pytest.approx(1.0)
+
+
+def test_rot_matches_matrix_form():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=6)
+    y = rng.normal(size=6)
+    th = 0.7
+    c, s = math.cos(th), math.sin(th)
+    xr, yr = x.copy(), y.copy()
+    rot(xr, yr, c, s)
+    np.testing.assert_allclose(xr, c * x + s * y)
+    np.testing.assert_allclose(yr, c * y - s * x)
+
+
+def test_lapy2():
+    assert lapy2(3.0, 4.0) == 5.0
+    assert lapy2(1e200, 1e200) == pytest.approx(math.sqrt(2) * 1e200)
+
+
+# ---------------------------------------------------------------------------
+# stabilization (Gu ẑ and eigenvector assembly)
+# ---------------------------------------------------------------------------
+
+def _secular_setup(seed=0, k=40):
+    rng = np.random.default_rng(seed)
+    d = np.sort(rng.normal(size=k)) + np.arange(k) * 1e-3
+    z = rng.uniform(0.1, 1.0, size=k) * rng.choice([-1.0, 1.0], size=k)
+    z /= np.linalg.norm(z)
+    rho = 0.8
+    roots = solve_secular(d, z, rho)
+    return d, z, rho, roots
+
+
+def test_w_product_panel_split_invariance():
+    d, z, rho, roots = _secular_setup()
+    k = d.shape[0]
+    whole = local_w_product(d, roots.orig, roots.tau, np.arange(k))
+    split = [local_w_product(d, roots.orig[p], roots.tau[p], p)
+             for p in np.array_split(np.arange(k), 5)]
+    np.testing.assert_allclose(np.prod(np.asarray(split), axis=0), whole,
+                               rtol=1e-12)
+
+
+def test_reduce_w_recovers_z():
+    # With accurately computed roots, ẑ must reproduce z to O(ε).
+    d, z, rho, roots = _secular_setup()
+    part = local_w_product(d, roots.orig, roots.tau, np.arange(len(d)))
+    zhat = reduce_w([part], z, rho)
+    np.testing.assert_allclose(zhat, z, atol=5e-13)
+
+
+def test_eigenvector_columns_diagonalize():
+    d, z, rho, roots = _secular_setup(3, 60)
+    part = local_w_product(d, roots.orig, roots.tau, np.arange(len(d)))
+    zhat = reduce_w([part], z, rho)
+    X = eigenvector_columns(d, roots.orig, roots.tau, zhat)
+    k = len(d)
+    assert np.max(np.abs(X.T @ X - np.eye(k))) < 1e-13 * k
+    Rhat = np.diag(d) + rho * np.outer(zhat, zhat)
+    assert np.max(np.abs(X.T @ Rhat @ X - np.diag(roots.lam))) < 1e-12 * k
+
+
+def test_eigenvector_columns_row_order():
+    d, z, rho, roots = _secular_setup(4, 20)
+    part = local_w_product(d, roots.orig, roots.tau, np.arange(len(d)))
+    zhat = reduce_w([part], z, rho)
+    perm = np.random.default_rng(0).permutation(20)
+    X = eigenvector_columns(d, roots.orig, roots.tau, zhat)
+    Xp = eigenvector_columns(d, roots.orig, roots.tau, zhat, row_order=perm)
+    np.testing.assert_array_equal(Xp, X[perm, :])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 30), st.integers(0, 2 ** 31 - 1))
+def test_property_stabilized_vectors_orthogonal(k, seed):
+    rng = np.random.default_rng(seed)
+    d = np.sort(rng.uniform(-1, 1, size=k)) + np.arange(k) * 1e-4
+    z = rng.uniform(0.05, 1.0, size=k) * rng.choice([-1.0, 1.0], size=k)
+    z /= np.linalg.norm(z)
+    rho = float(rng.uniform(0.1, 10.0))
+    roots = solve_secular(d, z, rho)
+    part = local_w_product(d, roots.orig, roots.tau, np.arange(k))
+    zhat = reduce_w([part], z, rho)
+    X = eigenvector_columns(d, roots.orig, roots.tau, zhat)
+    assert np.max(np.abs(X.T @ X - np.eye(k))) < 1e-11 * k
+
+
+# ---------------------------------------------------------------------------
+# householder
+# ---------------------------------------------------------------------------
+
+def test_tridiagonalize_reconstructs():
+    rng = np.random.default_rng(2)
+    for n in (1, 2, 3, 10, 40):
+        A = rng.normal(size=(n, n))
+        A = 0.5 * (A + A.T)
+        tri = tridiagonalize(A)
+        T = np.diag(tri.d)
+        if n > 1:
+            T += np.diag(tri.e, 1) + np.diag(tri.e, -1)
+        Q = tri.q()
+        assert np.max(np.abs(Q.T @ Q - np.eye(n))) < 1e-13 * n
+        assert np.max(np.abs(Q @ T @ Q.T - A)) < 1e-12 * n * max(
+            1.0, np.max(np.abs(A)))
+
+
+def test_tridiagonalize_rejects_nonsymmetric():
+    with pytest.raises(ValueError):
+        tridiagonalize(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError):
+        tridiagonalize(np.ones((2, 3)))
+
+
+def test_apply_q_on_vectors():
+    rng = np.random.default_rng(6)
+    n = 25
+    A = rng.normal(size=(n, n))
+    A = 0.5 * (A + A.T)
+    tri = tridiagonalize(A)
+    Q = tri.q()
+    C = rng.normal(size=(n, 4))
+    np.testing.assert_allclose(apply_q(tri, C), Q @ C, atol=1e-12)
+
+
+def test_already_tridiagonal_is_fixed_point():
+    d = np.array([1.0, 2.0, 3.0, 4.0])
+    e = np.array([0.1, 0.2, 0.3])
+    A = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    tri = tridiagonalize(A)
+    np.testing.assert_allclose(tri.d, d, atol=1e-14)
+    np.testing.assert_allclose(np.abs(tri.e), np.abs(e), atol=1e-14)

@@ -1,0 +1,136 @@
+"""Tests for the QR-iteration leaf eigensolver (repro.kernels.steqr)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import steqr, sterf
+
+
+def tridiag(d, e):
+    T = np.diag(np.asarray(d, dtype=float))
+    e = np.asarray(e, dtype=float)
+    if e.size:
+        T += np.diag(e, 1) + np.diag(e, -1)
+    return T
+
+
+def assert_valid_eig(d, e, lam, V, tol=5e-13):
+    T = tridiag(d, e)
+    n = len(d)
+    scale = max(1.0, np.max(np.abs(T)))
+    assert np.all(np.diff(lam) >= -1e-300), "eigenvalues not ascending"
+    assert np.max(np.abs(V.T @ V - np.eye(n))) < tol * n
+    assert np.max(np.abs(T @ V - V * lam[None, :])) < tol * n * scale
+
+
+def test_sizes_one_and_two():
+    lam, V = steqr([3.0], [])
+    assert lam[0] == 3.0 and V[0, 0] == 1.0
+    lam, V = steqr([1.0, 2.0], [0.5])
+    assert_valid_eig([1.0, 2.0], [0.5], lam, V)
+
+
+def test_diagonal_matrix():
+    d = np.array([3.0, -1.0, 2.0, 0.0])
+    lam, V = steqr(d, np.zeros(3))
+    np.testing.assert_allclose(lam, np.sort(d))
+    # Permutation matrix expected.
+    assert np.allclose(np.abs(V) @ np.abs(V.T), np.eye(4))
+
+
+def test_random_matrices_match_numpy():
+    rng = np.random.default_rng(7)
+    for n in (3, 10, 64, 150):
+        d = rng.normal(size=n)
+        e = rng.normal(size=n - 1)
+        lam, V = steqr(d, e)
+        lam_ref = np.linalg.eigvalsh(tridiag(d, e))
+        np.testing.assert_allclose(lam, lam_ref, atol=1e-12 * n)
+        assert_valid_eig(d, e, lam, V)
+
+
+def test_wilkinson_matrix_pair_clusters():
+    # W21+ has pairs of nearly equal eigenvalues — a classic QR stress.
+    m = 10
+    d = np.abs(np.arange(-m, m + 1)).astype(float)
+    e = np.ones(2 * m)
+    lam, V = steqr(d, e)
+    assert_valid_eig(d, e, lam, V)
+
+
+def test_122_toeplitz_known_eigenvalues():
+    n = 40
+    d = 2.0 * np.ones(n)
+    e = np.ones(n - 1)
+    lam, _ = steqr(d, e)
+    ref = 2.0 - 2.0 * np.cos(np.pi * np.arange(1, n + 1) / (n + 1))
+    np.testing.assert_allclose(lam, np.sort(ref), atol=1e-12)
+
+
+def test_eigenvalues_only_matches_full():
+    rng = np.random.default_rng(3)
+    d = rng.normal(size=30)
+    e = rng.normal(size=29)
+    np.testing.assert_allclose(sterf(d, e), steqr(d, e)[0], atol=1e-13)
+
+
+def test_zero_offdiagonal_splitting():
+    # e contains exact zeros: the matrix splits into independent blocks.
+    d = np.array([1.0, 5.0, 2.0, -3.0, 0.5])
+    e = np.array([0.3, 0.0, 0.1, 0.0])
+    lam, V = steqr(d, e)
+    assert_valid_eig(d, e, lam, V)
+
+
+def test_graded_matrix():
+    # Strongly graded entries exercise shift/underflow paths.
+    n = 24
+    d = 10.0 ** (-np.arange(n, dtype=float))
+    e = 10.0 ** (-np.arange(1, n, dtype=float))
+    lam, V = steqr(d, e)
+    assert_valid_eig(d, e, lam, V, tol=1e-12)
+
+
+def test_input_not_mutated():
+    d = np.ones(5)
+    e = 0.5 * np.ones(4)
+    d0, e0 = d.copy(), e.copy()
+    steqr(d, e)
+    np.testing.assert_array_equal(d, d0)
+    np.testing.assert_array_equal(e, e0)
+
+
+def test_wrong_e_length_raises():
+    with pytest.raises(ValueError):
+        steqr(np.ones(4), np.ones(4))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 24), st.integers(0, 2 ** 31 - 1))
+def test_property_spectral_decomposition(n, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(-5, 5, size=n)
+    e = rng.uniform(-5, 5, size=n - 1)
+    lam, V = steqr(d, e)
+    assert_valid_eig(d, e, lam, V)
+    # Trace and Frobenius norm are invariants of the spectrum.
+    assert np.sum(lam) == pytest.approx(np.sum(d), abs=1e-10 * n)
+    assert np.sum(lam ** 2) == pytest.approx(np.sum(d ** 2) + 2 * np.sum(e ** 2),
+                                             rel=1e-10)
+
+
+def test_graded_matrix_needs_reversed_sweeps():
+    """Regression: Table III type 1 leaves (one large + many tiny
+    eigenvalues, graded downward) stall the QL sweep direction; steqr
+    must fall back to solving the reversed matrix (QR direction)."""
+    from repro.matrices import test_matrix as make_matrix
+    from repro.kernels.scaling import scale_tridiagonal
+
+    d, e = make_matrix(1, 256)
+    ds, es, _ = scale_tridiagonal(d, e)
+    # The first D&C leaf of this matrix is the historical failure.
+    dl, el = ds[:64].copy(), es[:63].copy()
+    dl[-1] -= abs(es[63])
+    lam, V = steqr(dl, el)
+    assert_valid_eig(dl, el, lam, V, tol=1e-12)

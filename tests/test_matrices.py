@@ -1,0 +1,126 @@
+"""Tests for the Table III / application matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (MATRIX_TYPES, application_matrices,
+                            clustered_spectrum, glued_wilkinson,
+                            graded_matrix, lanczos_laplacian_1d,
+                            matrix_description, spectrum_of_type,
+                            tridiagonal_from_spectrum)
+from repro.matrices import test_matrix as make_matrix  # avoid pytest collection
+
+
+def tridiag(d, e):
+    return np.diag(np.asarray(d, float)) + np.diag(e, 1) + np.diag(e, -1)
+
+
+@pytest.mark.parametrize("mtype", MATRIX_TYPES)
+def test_shapes_and_finiteness(mtype):
+    d, e = make_matrix(mtype, 60)
+    assert d.shape == (60,) and e.shape == (59,)
+    assert np.all(np.isfinite(d)) and np.all(np.isfinite(e))
+    assert matrix_description(mtype)
+
+
+@pytest.mark.parametrize("mtype", range(1, 10))
+def test_spectrum_types_have_prescribed_eigenvalues(mtype):
+    n = 50
+    lam_target = np.sort(spectrum_of_type(mtype, n))
+    d, e = make_matrix(mtype, n)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    scale = max(1.0, np.max(np.abs(lam_target)))
+    np.testing.assert_allclose(lam, lam_target, atol=1e-12 * n * scale)
+
+
+def test_generation_is_deterministic():
+    d1, e1 = make_matrix(6, 40, seed=7)
+    d2, e2 = make_matrix(6, 40, seed=7)
+    np.testing.assert_array_equal(d1, d2)
+    np.testing.assert_array_equal(e1, e2)
+    d3, _ = make_matrix(6, 40, seed=8)
+    assert not np.array_equal(d1, d3)
+
+
+def test_type2_spectrum_near_identity():
+    lam = spectrum_of_type(2, 30)
+    assert np.sum(lam == 1.0) == 29
+    assert lam[-1] == 1e-6
+
+
+def test_direct_types_formulas():
+    d, e = make_matrix(10, 5)
+    np.testing.assert_array_equal(d, 2 * np.ones(5))
+    np.testing.assert_array_equal(e, np.ones(4))
+    d, e = make_matrix(11, 7)   # Wilkinson: |i - (n-1)/2|
+    np.testing.assert_array_equal(d, [3, 2, 1, 0, 1, 2, 3])
+    # Clement: spectrum is symmetric +-(n-1), +-(n-3), ...
+    d, e = make_matrix(12, 6)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    np.testing.assert_allclose(lam, [-5, -3, -1, 1, 3, 5], atol=1e-12)
+    # Hermite Jacobi matrix eigenvalues are Gauss-Hermite nodes (sym).
+    d, e = make_matrix(15, 9)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    np.testing.assert_allclose(lam, -lam[::-1], atol=1e-12)
+    # Laguerre nodes are positive.
+    d, e = make_matrix(14, 9)
+    assert np.all(np.linalg.eigvalsh(tridiag(d, e)) > 0)
+
+
+def test_tridiagonal_from_spectrum_exact():
+    lam = np.array([-3.0, -1.0, 0.5, 2.0, 7.0])
+    d, e = tridiagonal_from_spectrum(lam, seed=3)
+    got = np.linalg.eigvalsh(tridiag(d, e))
+    np.testing.assert_allclose(got, lam, atol=1e-13 * 10)
+
+
+def test_size_one():
+    d, e = make_matrix(6, 1)
+    assert d.shape == (1,) and e.shape == (0,)
+
+
+def test_invalid_type_raises():
+    with pytest.raises(ValueError):
+        make_matrix(16, 10)
+    with pytest.raises(ValueError):
+        make_matrix(4, 0)
+
+
+def test_glued_wilkinson_structure():
+    d, e = glued_wilkinson(n_blocks=3, block=21, glue=1e-5)
+    assert len(d) == 63 and len(e) == 62
+    assert np.sum(e == 1e-5) == 2          # two glue entries
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    # Blocks produce near-triplicate eigenvalues at the glue scale.
+    gaps = np.diff(lam)
+    assert np.min(gaps) < 1e-4
+
+
+def test_lanczos_laplacian_spectrum_inside_operator_range():
+    d, e = lanczos_laplacian_1d(40)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    assert np.all(lam > -1e-8) and np.all(lam < 4.0 + 1e-8)
+
+
+def test_clustered_spectrum_clusters():
+    d, e = clustered_spectrum(60, n_clusters=4, spread=1e-10, seed=1)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    big_gaps = np.sum(np.diff(lam) > 1e-3)
+    assert big_gaps == 3                    # 4 clusters → 3 large gaps
+
+
+def test_graded_matrix_condition():
+    d, e = graded_matrix(40, ratio=1e10)
+    lam = np.linalg.eigvalsh(tridiag(d, e))
+    assert lam[-1] / max(lam[0], 1e-300) > 1e8
+
+
+def test_application_set_contents():
+    mats = application_matrices(max_n=200)
+    assert len(mats) >= 5
+    names = [m[0] for m in mats]
+    assert any("glued" in s for s in names)
+    assert any("lanczos" in s for s in names)
+    for name, d, e in mats:
+        assert len(e) == len(d) - 1
+        assert np.all(np.isfinite(d))

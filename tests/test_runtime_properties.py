@@ -1,0 +1,138 @@
+"""Property-based and stress tests of the task-flow runtime: random DAGs
+must execute respecting every dependency on every backend, and the
+simulator must conserve work."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (DataHandle, GATHERV, INOUT, INPUT, Machine,
+                           OUTPUT, SequentialScheduler, SimulatedMachine,
+                           TaskCost, TaskGraph, ThreadScheduler)
+
+
+def random_graph(rng, n_tasks=30, n_handles=8, log=None):
+    """A random sequential task flow over a small set of handles.
+
+    Every task appends its seq to `log` when run, so execution order can
+    be checked against the dependence order.
+    """
+    g = TaskGraph()
+    handles = [DataHandle(f"h{i}") for i in range(n_handles)]
+    modes = [INPUT, OUTPUT, INOUT, GATHERV]
+    for t in range(n_tasks):
+        k = rng.integers(1, 4)
+        hs = rng.choice(n_handles, size=k, replace=False)
+        acc = [(handles[h], modes[rng.integers(0, 4)]) for h in hs]
+
+        def work(seq=t):
+            if log is not None:
+                log.append(seq)
+
+        g.insert_task(work, acc, name=f"t{t % 5}",
+                      cost=TaskCost(flops=float(rng.integers(1, 100)) * 1e6))
+    return g
+
+
+def check_order_respects_dag(graph, order):
+    pos = {seq: i for i, seq in enumerate(order)}
+    for t in graph.tasks:
+        for s in t.successors:
+            assert pos[t.seq] < pos[s.seq], \
+                f"task {s.seq} ran before its dependency {t.seq}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_property_thread_scheduler_respects_random_dags(seed):
+    rng = np.random.default_rng(seed)
+    log = []
+    g = random_graph(rng, log=log)
+    ThreadScheduler(4).run(g)
+    assert sorted(log) == list(range(g.n_tasks))
+    check_order_respects_dag(g, log)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_property_simulator_respects_random_dags(seed):
+    rng = np.random.default_rng(seed)
+    log = []
+    g = random_graph(rng, log=log)
+    trace = SimulatedMachine(Machine(), n_workers=5).run(g)
+    assert sorted(log) == list(range(g.n_tasks))
+    check_order_respects_dag(g, log)
+    # Trace events never overlap on the same worker.
+    for w, evs in enumerate(trace.worker_events()):
+        for a, b in zip(evs, evs[1:]):
+            assert a.t_end <= b.t_start + 1e-12
+    # Start times respect the DAG too.
+    start = {e.task_uid: e.t_start for e in trace.events}
+    end = {e.task_uid: e.t_end for e in trace.events}
+    for t in g.tasks:
+        for s in t.successors:
+            assert end[t.uid] <= start[s.uid] + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 12))
+def test_property_simulator_work_conservation(seed, workers):
+    """Busy time is independent of the worker count (compute-bound) and
+    the makespan is bounded by [work/P, work] and at least the critical
+    path."""
+    rng = np.random.default_rng(seed)
+    g = random_graph(rng)
+    m = Machine(n_cores=16, n_sockets=1, task_overhead=0.0,
+                kernel_efficiency=1.0)
+    tr = SimulatedMachine(m, n_workers=workers).run(g)
+    total_work = sum(m.duration_solo(t.resolved_cost(), t.name)
+                     for t in g.tasks)
+    assert tr.busy_time == pytest.approx(total_work, rel=1e-9)
+    assert tr.makespan <= total_work * (1 + 1e-9)
+    assert tr.makespan >= total_work / workers * (1 - 1e-9)
+    cp = g.critical_path_cost(
+        lambda t: m.duration_solo(t.resolved_cost(), t.name))
+    assert tr.makespan >= cp * (1 - 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_property_more_workers_never_slower(seed):
+    """The simulator's greedy schedule is monotone in workers for these
+    compute-bound graphs (no bandwidth effects)."""
+    rng = np.random.default_rng(seed)
+    g = random_graph(rng, n_tasks=40)
+    m = Machine(n_cores=16, n_sockets=1, task_overhead=0.0,
+                kernel_efficiency=1.0)
+    times = [SimulatedMachine(m, n_workers=p).run(g).makespan
+             for p in (1, 2, 4, 8)]
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.15   # greedy scheduling anomalies are bounded
+
+
+def test_gantt_renders_nonempty():
+    rng = np.random.default_rng(0)
+    g = random_graph(rng, n_tasks=12)
+    tr = SimulatedMachine(Machine(), n_workers=4).run(g)
+    art = tr.gantt(width=50)
+    assert "w00 |" in art and "legend:" in art
+    assert len(art.splitlines()) == tr.n_workers + 1  # rows + legend
+
+
+def test_to_dot_output():
+    g = TaskGraph()
+    h = DataHandle("x")
+    g.insert_task(lambda: None, [(h, OUTPUT)], name="a")
+    g.insert_task(lambda: None, [(h, INPUT)], name="b")
+    dot = g.to_dot()
+    assert dot.startswith("digraph")
+    assert "->" in dot and '"a' in dot
+
+
+def test_empty_graph_runs():
+    g = TaskGraph()
+    tr = SequentialScheduler().run(g)
+    assert tr.makespan == 0.0
+    tr = SimulatedMachine(Machine()).run(g)
+    assert tr.makespan == 0.0
+    assert tr.gantt() == "(empty trace)"

@@ -1,0 +1,172 @@
+"""Tests for the D&C SVD extension (repro.core.svd + bidiagonalize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.svd import svd, svd_bidiagonal, tgk_tridiagonal
+from repro.kernels import apply_ql, apply_qr, bidiagonalize
+
+
+def bidiag(q, r):
+    B = np.diag(np.asarray(q, float))
+    r = np.asarray(r, float)
+    if r.size:
+        B += np.diag(r, 1)
+    return B
+
+
+def check_svd(A, U, s, Vt, tol=1e-11):
+    m, n = A.shape
+    k = s.shape[0]
+    scale = max(1.0, float(np.max(np.abs(A))))
+    assert np.all(np.diff(s) <= 1e-300)           # descending
+    assert np.all(s >= 0)
+    assert np.max(np.abs(U.T @ U - np.eye(k))) < tol * max(m, n)
+    assert np.max(np.abs(Vt @ Vt.T - np.eye(k))) < tol * max(m, n)
+    assert np.max(np.abs((U * s[None, :]) @ Vt - A)) < tol * max(m, n) * scale
+
+
+# ---------------------------------------------------------------------------
+# TGK form
+# ---------------------------------------------------------------------------
+
+def test_tgk_structure():
+    d, e = tgk_tridiagonal([1.0, 2.0, 3.0], [4.0, 5.0])
+    np.testing.assert_array_equal(d, np.zeros(6))
+    np.testing.assert_array_equal(e, [1, 4, 2, 5, 3])
+
+
+def test_tgk_spectrum_is_plus_minus_singular_values():
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=6)
+    r = rng.normal(size=5)
+    d, e = tgk_tridiagonal(q, r)
+    T = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    lam = np.linalg.eigvalsh(T)
+    s = np.linalg.svd(bidiag(q, r), compute_uv=False)
+    np.testing.assert_allclose(np.sort(np.abs(lam)),
+                               np.sort(np.concatenate([s, s])), atol=1e-12)
+
+
+def test_tgk_bad_shapes():
+    with pytest.raises(ValueError):
+        tgk_tridiagonal([1.0, 2.0], [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# bidiagonalization
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shape", [(5, 5), (8, 5), (30, 12), (1, 1)])
+def test_bidiagonalize_reconstructs(shape):
+    rng = np.random.default_rng(shape[0] * 100 + shape[1])
+    A = rng.normal(size=shape)
+    bid = bidiagonalize(A)
+    m, n = shape
+    B = np.zeros((m, n))
+    B[:n, :n] = bidiag(bid.q, bid.r)
+    QL = bid.ql()
+    QR = bid.qr()
+    assert np.max(np.abs(QL.T @ QL - np.eye(m))) < 1e-13 * m
+    assert np.max(np.abs(QR.T @ QR - np.eye(n))) < 1e-13 * n
+    assert np.max(np.abs(QL @ B @ QR.T - A)) < 1e-12 * m * max(
+        1.0, np.max(np.abs(A)))
+
+
+def test_bidiagonalize_rejects_wide():
+    with pytest.raises(ValueError):
+        bidiagonalize(np.ones((2, 5)))
+
+
+def test_apply_ql_qr_match_materialized():
+    rng = np.random.default_rng(3)
+    A = rng.normal(size=(10, 6))
+    bid = bidiagonalize(A)
+    C = rng.normal(size=(10, 3))
+    np.testing.assert_allclose(apply_ql(bid, C), bid.ql() @ C, atol=1e-12)
+    D = rng.normal(size=(6, 2))
+    np.testing.assert_allclose(apply_qr(bid, D), bid.qr() @ D, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# bidiagonal SVD
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 3, 10, 80])
+def test_svd_bidiagonal_random(n):
+    rng = np.random.default_rng(n)
+    q = rng.normal(size=n)
+    r = rng.normal(size=n - 1)
+    U, s, Vt = svd_bidiagonal(q, r)
+    check_svd(bidiag(q, r), U, s, Vt)
+    s_ref = np.linalg.svd(bidiag(q, r), compute_uv=False)
+    np.testing.assert_allclose(s, s_ref, atol=1e-12 * max(1, n))
+
+
+def test_svd_bidiagonal_rank_deficient():
+    q = np.array([2.0, 0.0, 1.0, 3.0])
+    r = np.array([0.3, 0.4, 0.5])
+    U, s, Vt = svd_bidiagonal(q, r)
+    check_svd(bidiag(q, r), U, s, Vt)
+    assert s[-1] < 1e-12
+
+
+def test_svd_bidiagonal_clustered_singular_values():
+    # Equal-magnitude diagonal, tiny coupling -> tight sigma clusters.
+    n = 40
+    q = np.ones(n)
+    r = np.full(n - 1, 1e-13)
+    U, s, Vt = svd_bidiagonal(q, r)
+    check_svd(bidiag(q, r), U, s, Vt)
+
+
+def test_svd_bidiagonal_empty():
+    with pytest.raises(ValueError):
+        svd_bidiagonal(np.empty(0), np.empty(0))
+
+
+# ---------------------------------------------------------------------------
+# dense SVD pipeline
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shape", [(6, 6), (40, 25), (25, 40), (50, 7)])
+def test_dense_svd(shape):
+    rng = np.random.default_rng(shape[0])
+    A = rng.normal(size=shape)
+    U, s, Vt = svd(A)
+    k = min(shape)
+    assert U.shape == (shape[0], k) and Vt.shape == (k, shape[1])
+    check_svd(A, U, s, Vt)
+    np.testing.assert_allclose(
+        s, np.linalg.svd(A, compute_uv=False), atol=1e-11 * max(shape))
+
+
+def test_dense_svd_low_rank():
+    rng = np.random.default_rng(9)
+    A = rng.normal(size=(30, 3)) @ rng.normal(size=(3, 20))
+    U, s, Vt = svd(A)
+    assert np.sum(s > 1e-10) == 3
+    check_svd(A, U, s, Vt)
+
+
+def test_svd_backends_agree():
+    rng = np.random.default_rng(11)
+    A = rng.normal(size=(25, 15))
+    U1, s1, V1 = svd(A, backend="sequential")
+    U2, s2, V2 = svd(A, backend="threads", n_workers=3)
+    np.testing.assert_array_equal(s1, s2)
+    np.testing.assert_array_equal(U1, U2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 25), st.integers(0, 2 ** 31 - 1))
+def test_property_svd_invariants(n, seed):
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(-3, 3, size=n)
+    r = rng.uniform(-3, 3, size=n - 1)
+    U, s, Vt = svd_bidiagonal(q, r)
+    B = bidiag(q, r)
+    check_svd(B, U, s, Vt)
+    # Frobenius norm invariant.
+    assert np.sum(s ** 2) == pytest.approx(np.sum(B * B), rel=1e-10)
