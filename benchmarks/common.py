@@ -10,7 +10,10 @@ paper data survives pytest's output capture.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import platform
+import sys
 
 import numpy as np
 
@@ -31,6 +34,39 @@ def save_table(name: str, text: str) -> None:
     with open(path, "w") as fh:
         fh.write(text.rstrip() + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def write_bench_json(name: str, payload: dict, *,
+                     directory: str | None = None) -> str:
+    """Persist a benchmark result as machine-readable JSON.
+
+    Writes ``<directory or benchmarks/results>/<name>.json`` with the
+    payload wrapped in a small envelope (benchmark name, python/numpy
+    versions, platform) so regression tooling can compare runs.  Returns
+    the path written.
+    """
+    out_dir = directory or RESULTS_DIR
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    doc = {
+        "benchmark": name,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "results": payload,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench json saved to {path}]")
+    return path
+
+
+def load_bench_json(path: str) -> dict:
+    """Load a results file written by :func:`write_bench_json`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("results", doc)
 
 
 @functools.lru_cache(maxsize=64)

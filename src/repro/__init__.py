@@ -7,6 +7,8 @@ Top-level API
 -------------
 ``dc_eigh(d, e)``
     The paper's contribution: task-flow D&C tridiagonal eigensolver.
+``dc_eigh_many(problems)``
+    Batch entry point: same-shape solves reuse the cached DAG template.
 ``mrrr_eigh(d, e)``
     MR3-SMP-style MRRR comparator.
 ``eigh(A)``
@@ -20,7 +22,8 @@ Subpackages: ``runtime`` (QUARK-like task runtime), ``kernels``
 
 __version__ = "1.0.0"
 
-__all__ = ["dc_eigh", "mrrr_eigh", "eigh", "svd", "__version__"]
+__all__ = ["dc_eigh", "dc_eigh_many", "mrrr_eigh", "eigh", "svd",
+           "__version__"]
 
 
 def __getattr__(name):
@@ -29,6 +32,9 @@ def __getattr__(name):
     if name == "dc_eigh":
         from .core.solver import dc_eigh
         return dc_eigh
+    if name == "dc_eigh_many":
+        from .core.solver import dc_eigh_many
+        return dc_eigh_many
     if name == "eigh":
         from .core.dense import eigh
         return eigh

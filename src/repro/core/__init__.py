@@ -4,7 +4,9 @@ from .options import DCOptions, FIG3_CONFIGS
 from .tree import Node, build_tree
 from .merge import DCContext, MergeState, panel_ranges
 from .tasks import submit_dc, DCGraphInfo
-from .solver import dc_eigh, DCResult
+from .graph_cache import (GraphTemplate, GraphTemplateCache,
+                          graph_template_cache, template_key)
+from .solver import dc_eigh, dc_eigh_many, DCResult
 from .dense import eigh
 from .svd import svd, svd_bidiagonal, tgk_tridiagonal
 from .reduction import taskflow_tridiagonalize
@@ -12,6 +14,8 @@ from .reduction import taskflow_tridiagonalize
 __all__ = [
     "DCOptions", "FIG3_CONFIGS", "Node", "build_tree",
     "DCContext", "MergeState", "panel_ranges",
-    "submit_dc", "DCGraphInfo", "dc_eigh", "DCResult", "eigh",
+    "submit_dc", "DCGraphInfo", "dc_eigh", "dc_eigh_many", "DCResult",
+    "GraphTemplate", "GraphTemplateCache", "graph_template_cache",
+    "template_key", "eigh",
     "svd", "svd_bidiagonal", "tgk_tridiagonal", "taskflow_tridiagonalize",
 ]

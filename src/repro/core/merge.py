@@ -17,12 +17,14 @@ explicit inter-level permutation is required; a final
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..kernels.deflation import DeflationResult, deflate, rotation_chains
+from ..kernels.givens import apply_rotation_chains
 from ..kernels.scaling import ScaleInfo, scale_tridiagonal
 from ..kernels.secular import solve_secular
 from ..kernels.stabilize import (eigenvector_columns, local_w_product,
@@ -49,6 +51,8 @@ class MergeStats:
     k: int = 0
     n_rotations: int = 0
     secular_sweeps: int = 0
+    lo: int = 0
+    hi: int = 0
 
     @property
     def deflation_ratio(self) -> float:
@@ -91,7 +95,20 @@ class DCContext:
         # Final ordering (SortEigenvectors / ScaleBack).
         self.order: Optional[np.ndarray] = None
         self.D_sorted: Optional[np.ndarray] = None
-        self.merge_stats: list[MergeStats] = []
+        # Keyed by merge span so concurrent registration (threads backend)
+        # never races on a list and the exposed order is deterministic.
+        self._merge_stats: dict[tuple[int, int], MergeStats] = {}
+
+    @property
+    def merge_stats(self) -> list[MergeStats]:
+        """Per-merge stats, bottom-up by tree level (root merge last).
+
+        Entries are registered in execution order, which is backend
+        dependent; sorting by (span size, lo) restores the deterministic
+        bottom-up tree order regardless of the schedule.
+        """
+        return [self._merge_stats[key] for key in
+                sorted(self._merge_stats, key=lambda s: (s[1] - s[0], s[0]))]
 
     # -- root-level tasks --------------------------------------------------
     def t_scale(self) -> None:
@@ -156,7 +173,12 @@ class MergeState:
         self.wparts: dict[int, np.ndarray] = {}
         self.X: Optional[np.ndarray] = None
         self.wanted_stored: Optional[np.ndarray] = None
-        self.stats = MergeStats()
+        self.stats = MergeStats(lo=node.lo, hi=node.hi)
+        # Secular sweep counts, accumulated per panel (keyed by p0) and
+        # reduced into ``stats`` by t_reduce_w: panel tasks run
+        # concurrently under the threads backend, so a shared
+        # read-modify-write on stats.secular_sweeps would race.
+        self._sweeps: dict[int, int] = {}
 
     # convenience ----------------------------------------------------------
     @property
@@ -186,6 +208,11 @@ class MergeState:
         self.defl = deflate(dvals, z, beta, mid - lo,
                             tol_factor=ctx.opts.deflation_tol_factor)
         self.chains = rotation_chains(self.defl.rotations)
+        # Run boundaries of the permutation (indices where consecutive
+        # source columns break): precomputed once so every PermuteV panel
+        # can block-copy runs without per-panel run detection.
+        cuts = np.flatnonzero(np.diff(self.defl.perm) != 1) + 1
+        self._perm_runs = [0, *cuts.tolist(), self.defl.perm.size]
         k = self.defl.k
         self.orig = np.zeros(k, dtype=np.intp)
         self.tau = np.zeros(k)
@@ -194,13 +221,27 @@ class MergeState:
         self.stats.n = self.n
         self.stats.k = k
         self.stats.n_rotations = len(self.defl.rotations)
-        ctx.merge_stats.append(self.stats)
+        ctx._merge_stats[(self.lo, self.hi)] = self.stats
 
     def t_apply_givens(self, group: int, n_groups: int) -> None:
         """Apply the deflating rotations of chains ``group mod n_groups``.
 
         Chains touch disjoint columns, so groups can run concurrently
-        (GATHERV on the child eigenvector blocks)."""
+        (GATHERV on the child eigenvector blocks).  Within a group the
+        chains are batched into vectorized rounds by
+        :func:`~repro.kernels.givens.apply_rotation_chains`: round ``r``
+        applies the ``r``-th rotation of every chain with one fancy-indexed
+        gather/scatter instead of per-rotation BLAS-1 column updates."""
+        if not self.chains:
+            return
+        ctx = self.ctx
+        apply_rotation_chains(ctx.V, self.lo, self.hi,
+                              self.chains[group::n_groups])
+
+    def t_apply_givens_ref(self, group: int, n_groups: int) -> None:
+        """Seed (per-rotation temporaries) implementation of
+        :meth:`t_apply_givens`; kept as the reference for equivalence
+        tests and the hot-path microbenchmarks."""
         ctx = self.ctx
         lo, hi = self.lo, self.hi
         for ci in range(group, len(self.chains), n_groups):
@@ -221,8 +262,61 @@ class MergeState:
             return slice(self.lo, self.hi)         # dense / deflated
         return slice(self.mid, self.hi)            # type 3: bottom block
 
+    def _dest_segments(self, p0: int, p1: int
+                       ) -> list[tuple[int, int, slice]]:
+        """Split panel [p0, p1) into contiguous runs of equal row class.
+
+        The compressed layout groups columns as [type-1 | dense | type-3 |
+        deflated], so a panel intersects at most four runs; each run can
+        be moved with a single fancy-indexed gather."""
+        k1, k2, _ = self.defl.ctot
+        k = self.k
+        top = slice(self.lo, self.mid)
+        full = slice(self.lo, self.hi)
+        bot = slice(self.mid, self.hi)
+        out = []
+        for a, b, rows in ((0, k1, top), (k1, k1 + k2, full),
+                           (k1 + k2, k, bot), (k, self.n, full)):
+            d0, d1 = max(p0, a), min(p1, b)
+            if d0 < d1:
+                out.append((d0, d1, rows))
+        return out
+
     def t_permute_panel(self, p0: int, p1: int) -> None:
-        """Copy columns [p0, p1) into the workspace in compressed order."""
+        """Copy columns [p0, p1) into the workspace in compressed order.
+
+        Within each row-range class (type-1 / dense / type-3 / deflated)
+        the permutation is an interleave of a few sorted child sequences,
+        so it decomposes into long runs of *consecutive* source columns
+        (~10 runs for a full merge).  Each run is one contiguous 2D block
+        copy — same bytes as the seed's per-column loop, a small constant
+        number of numpy calls.  When a segment is pathologically
+        fragmented and the columns are short, a single fancy-indexed
+        gather is cheaper than the run loop."""
+        ctx = self.ctx
+        perm = self.defl.perm
+        runs = self._perm_runs
+        lo = self.lo
+        V, W = ctx.V, ctx.Vws
+        for d0, d1, rows in self._dest_segments(p0, p1):
+            i0 = bisect_right(runs, d0) - 1
+            i1 = bisect_left(runs, d1)
+            if (i1 - i0 > (d1 - d0) >> 2
+                    and rows.stop - rows.start <= 1024):
+                # Fragmented permutation, short columns: one gather beats
+                # the run loop.
+                W[rows, lo + d0:lo + d1] = V[rows, lo + perm[d0:d1]]
+                continue
+            d = d0
+            for a in range(i0, i1):
+                end = min(runs[a + 1], d1)
+                s = lo + int(perm[d])
+                W[rows, lo + d:lo + end] = V[rows, s:s + end - d]
+                d = end
+
+    def t_permute_panel_ref(self, p0: int, p1: int) -> None:
+        """Seed (column-at-a-time) implementation of
+        :meth:`t_permute_panel`; reference for tests/benchmarks."""
         ctx = self.ctx
         perm = self.defl.perm
         p1 = min(p1, self.n)
@@ -232,11 +326,8 @@ class MergeState:
 
     def permute_rows_moved(self, p0: int, p1: int) -> float:
         """Doubles moved by t_permute_panel (for the cost model)."""
-        total = 0.0
-        for dest in range(p0, min(p1, self.n)):
-            r = self._dest_rows(dest)
-            total += r.stop - r.start
-        return total
+        return float(sum((d1 - d0) * (rows.stop - rows.start)
+                         for d0, d1, rows in self._dest_segments(p0, p1)))
 
     def t_laed4_panel(self, p0: int, p1: int) -> None:
         roots = self.clip_roots(p0, p1)
@@ -247,7 +338,8 @@ class MergeState:
         self.orig[roots] = res.orig
         self.tau[roots] = res.tau
         self.lam[roots] = res.lam
-        self.stats.secular_sweeps += res.iterations
+        # Per-panel accumulation (distinct keys): reduced by t_reduce_w.
+        self._sweeps[p0] = res.iterations
 
     def t_local_w_panel(self, p0: int, p1: int, pid: int) -> None:
         roots = self.clip_roots(p0, p1)
@@ -264,6 +356,9 @@ class MergeState:
         # UpdateVect restricted to the wanted ones (the [6] optimization
         # of the last update step; see paper Sec. I).
         ctx = self.ctx
+        # All LAED4 panels are ordered before ReduceW (through the
+        # ComputeLocalW -> hW GATHERV group), so this reduction is safe.
+        self.stats.secular_sweeps = sum(self._sweeps.values())
         if ctx.subset is not None and self.n == ctx.n:
             lam_stored = np.concatenate([self.lam, self.defl.d_defl])
             ranks = np.empty(self.n, dtype=np.intp)
@@ -278,6 +373,19 @@ class MergeState:
         self.zhat = reduce_w(parts, self.defl.zsec, self.defl.rho)
 
     def t_copyback_panel(self, p0: int, p1: int) -> None:
+        ctx = self.ctx
+        d = self.defl
+        lo, hi = self.lo, self.hi
+        k = self.k
+        a, b = max(p0, k), min(p1, self.n)
+        if a >= b:
+            return
+        ctx.V[lo:hi, lo + a:lo + b] = ctx.Vws[lo:hi, lo + a:lo + b]
+        ctx.D[lo + a:lo + b] = d.d_defl[a - k:b - k]
+
+    def t_copyback_panel_ref(self, p0: int, p1: int) -> None:
+        """Seed (column-at-a-time) implementation of
+        :meth:`t_copyback_panel`; reference for tests/benchmarks."""
         ctx = self.ctx
         d = self.defl
         lo, hi = self.lo, self.hi

@@ -34,6 +34,12 @@ class DCOptions:
         model of MKL LAPACK (Fig. 3(a)).  Implies ``level_barrier``.
     ``deflation_tol_factor``
         Multiplier of machine epsilon in the deflation test (LAPACK: 8).
+    ``reuse_graph``
+        Consult the process-wide DAG template cache: the task graph is
+        matrix independent (Sec. IV), so repeated solves of the same
+        (n, nb, minpart, variant) shape skip ``build_tree`` +
+        ``submit_dc`` and only rebind fresh per-solve state onto the
+        cached task/dependency skeleton.  Numerics never change.
     """
 
     minpart: int = 64
@@ -42,6 +48,7 @@ class DCOptions:
     level_barrier: bool = False
     fork_join: bool = False
     deflation_tol_factor: float = 8.0
+    reuse_graph: bool = False
 
     def __post_init__(self) -> None:
         if self.minpart < 1:

@@ -24,12 +24,13 @@ from ..runtime.dag import TaskGraph
 from ..runtime.quark import Quark
 from ..runtime.simulator import Machine
 from ..runtime.trace import Trace
+from .graph_cache import graph_template_cache, template_key
 from .merge import DCContext
 from .options import DCOptions
 from .tasks import DCGraphInfo, submit_dc
-from .tree import Node, build_tree
+from .tree import build_tree
 
-__all__ = ["dc_eigh", "DCResult", "DCOptions"]
+__all__ = ["dc_eigh", "dc_eigh_many", "DCResult", "DCOptions"]
 
 
 @dataclass
@@ -107,11 +108,43 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
 
     ctx = DCContext(d, e, opts, subset=subset)
     quark = Quark(backend, n_workers=n_workers, machine=machine)
-    tree = build_tree(n, opts.minpart)
-    info = submit_dc(quark.graph, ctx, tree)
-    graph = quark.graph
+    if opts.reuse_graph:
+        key = template_key(n, opts,
+                           None if subset is None else ctx.subset.shape[0])
+        graph, info = graph_template_cache.get_or_build(ctx, key)
+        quark.graph = graph
+    else:
+        tree = build_tree(n, opts.minpart)
+        info = submit_dc(quark.graph, ctx, tree)
+        graph = quark.graph
     trace = quark.barrier()
     lam, V = ctx.result()
     if full_result:
         return DCResult(lam, V, trace, graph, info)
     return lam, V
+
+
+def dc_eigh_many(problems, *,
+                 options: Optional[DCOptions] = None,
+                 backend: str = "sequential",
+                 n_workers: Optional[int] = None,
+                 machine: Optional[Machine] = None,
+                 subset: Optional[np.ndarray] = None,
+                 full_result: bool = False) -> list:
+    """Solve a batch of tridiagonal eigenproblems, reusing the DAG.
+
+    ``problems`` is an iterable of ``(d, e)`` pairs.  Graph reuse is
+    forced on: each same-shape solve after the first skips the task
+    submission/dependency analysis entirely and only rebinds fresh
+    per-solve state onto the cached skeleton — the high-throughput batch
+    entry point.  Mixed shapes are fine; each distinct shape is analyzed
+    once.
+
+    Returns a list of ``(lam, V)`` pairs (or :class:`DCResult` when
+    ``full_result=True``), in input order.
+    """
+    opts = (options or DCOptions()).with_(reuse_graph=True)
+    return [dc_eigh(d, e, options=opts, backend=backend,
+                    n_workers=n_workers, machine=machine, subset=subset,
+                    full_result=full_result)
+            for d, e in problems]

@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-__all__ = ["lartg", "rot", "lapy2"]
+__all__ = ["lartg", "rot", "lapy2", "apply_rotation_chains"]
 
 
 def lapy2(x: float, y: float) -> float:
@@ -43,3 +43,52 @@ def rot(x: np.ndarray, y: np.ndarray, c: float, s: float) -> None:
     y *= c
     y -= s * x
     x[...] = tmp
+
+
+def apply_rotation_chains(V: np.ndarray, lo: int, hi: int, chains) -> None:
+    """Apply several disjoint rotation chains to columns of ``V[lo:hi]``.
+
+    Chains (see :func:`repro.kernels.deflation.rotation_chains`) touch
+    pairwise-disjoint column sets, so the ``r``-th rotations of all chains
+    commute and can be applied together as one vectorized "round": gather
+    the ``i``/``j`` columns of every chain still active at round ``r``,
+    combine, and scatter back.  This turns ``sum(len(chain))`` BLAS-1
+    column updates into ``max(len(chain))`` matrix-panel operations.
+
+    Rounding matches the per-rotation reference ``rot``: the deflated
+    column is ``(c*q_i) + (s*q_j)`` and the survivor ``(c*q_j) - (s*q_i)``
+    element by element (IEEE multiplication is commutative, so
+    ``q_i*c == c*q_i``), so results are bitwise identical to applying the
+    rotations one at a time.
+    """
+    chains = [c for c in chains if c]
+    if not chains:
+        return
+    VT = V.T        # F-ordered V: VT is C-ordered, columns become rows
+    if len(chains) < 8 or hi - lo > 512:
+        # Rounds only pay when many short columns amortize the
+        # gather/scatter machinery; tall columns stay cache-resident in
+        # the streaming loop while a round's gathered panels do not.
+        # Stream each chain with scalar rotations instead (same
+        # element-wise expressions, so still bitwise identical).
+        for chain in chains:
+            for rt in chain:
+                qi = VT[lo + rt.i, lo:hi]
+                qj = VT[lo + rt.j, lo:hi]
+                tmp = qi * rt.c + qj * rt.s
+                qj *= rt.c
+                qj -= rt.s * qi
+                qi[...] = tmp
+        return
+    max_len = max(len(c) for c in chains)
+    for r in range(max_len):
+        rots = [c[r] for c in chains if len(c) > r]
+        m = len(rots)
+        ii = np.fromiter((lo + rt.i for rt in rots), np.intp, count=m)
+        jj = np.fromiter((lo + rt.j for rt in rots), np.intp, count=m)
+        cc = np.fromiter((rt.c for rt in rots), np.float64, count=m)[:, None]
+        ss = np.fromiter((rt.s for rt in rots), np.float64, count=m)[:, None]
+        Qi = VT[ii, lo:hi]                   # gathers copy: safe to scatter
+        Qj = VT[jj, lo:hi]
+        VT[ii, lo:hi] = Qi * cc + Qj * ss    # deflated columns
+        VT[jj, lo:hi] = Qj * cc - Qi * ss    # surviving columns

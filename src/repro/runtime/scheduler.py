@@ -5,11 +5,15 @@ Two backends execute the same DAG:
 * :class:`SequentialScheduler` — runs tasks in submission order on the
   calling thread; the reference for correctness and for the paper's
   "sequential execution" timings.
-* :class:`ThreadScheduler` — a worker pool that pops ready tasks and
-  resolves successors as tasks complete, i.e. the dynamic out-of-order
-  scheduling of QUARK.  NumPy/BLAS kernels release the GIL, so the heavy
-  tasks (``UpdateVect`` GEMMs, vectorized secular solves) genuinely
-  overlap.
+* :class:`ThreadScheduler` — a work-stealing worker pool: each worker
+  owns a priority deque of ready tasks, resolves successor dependency
+  counts with striped per-task locks, and steals from its peers when its
+  own deque runs dry.  A condition variable is used *only* to park idle
+  workers — the task hot path (pop, run, resolve successors) never takes
+  a global lock, which is what keeps per-task overhead low enough for
+  the paper's fine-grained panel tasks (the QUARK design point).
+  NumPy/BLAS kernels release the GIL, so the heavy tasks (``UpdateVect``
+  GEMMs, vectorized secular solves) genuinely overlap.
 
 Both record a :class:`~repro.runtime.trace.Trace` using wall-clock time.
 Deterministic multicore *timing* studies use the discrete-event backend in
@@ -65,70 +69,154 @@ class SequentialScheduler:
         return trace
 
 
-class ThreadScheduler:
-    """Dynamic out-of-order scheduler over ``n_workers`` OS threads."""
+class _WorkerDeque:
+    """One worker's ready set: a lock-guarded priority heap.
 
-    def __init__(self, n_workers: int = 4):
+    The owner and thieves pop the same way — best (priority, seq) first —
+    so QUARK's ordering policy is preserved locally; global order is only
+    approximate under stealing, which does not affect correctness (any
+    topological order is valid) and matches real work-stealing runtimes.
+    """
+
+    __slots__ = ("lock", "heap")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.heap: list[tuple[int, int, Task]] = []
+
+    def push(self, task: Task) -> None:
+        with self.lock:
+            heapq.heappush(self.heap, (-task.priority, task.seq, task))
+
+    def pop(self) -> Optional[Task]:
+        with self.lock:
+            if self.heap:
+                return heapq.heappop(self.heap)[2]
+        return None
+
+
+class ThreadScheduler:
+    """Work-stealing out-of-order scheduler over ``n_workers`` OS threads.
+
+    Design (per the low-per-task-overhead requirement of fine-grained
+    task flows):
+
+    * **per-worker ready deques** seeded round-robin in submission order
+      (so the initial distribution follows the sequential task flow);
+    * **striped dependency counting**: a completing task decrements each
+      successor's pending count under one of ``n_stripes`` locks chosen
+      by task id — no global scheduler lock on the hot path;
+    * **stealing on empty**: a worker whose deque is empty sweeps its
+      peers (starting from its right neighbour) and steals the best
+      ready task it finds;
+    * **condvar parking only when idle**: workers block on the shared
+      condition variable only after an unsuccessful sweep; completions
+      that publish new ready tasks bump a version counter and notify.
+    """
+
+    def __init__(self, n_workers: int = 4, n_stripes: int = 64):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        self.n_stripes = max(1, n_stripes)
         self.trace: Optional[Trace] = None
 
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
-        trace = Trace(n_workers=self.n_workers)
-        lock = threading.Lock()
-        cv = threading.Condition(lock)
-        ready = _ReadyQueue()
-        remaining = len(graph.tasks)
-        errors: list[BaseException] = []
+        nw = self.n_workers
+        trace = Trace(n_workers=nw)
+        tasks = graph.tasks
+        # Per-run countdown of unresolved dependencies, indexed by the
+        # submission order ``seq`` (don't mutate the graph's n_deps so
+        # the same graph can be re-analyzed / re-instantiated).
+        pending = [t.n_deps for t in tasks]
+        stripes = [threading.Lock() for _ in range(self.n_stripes)]
+        deques = [_WorkerDeque() for _ in range(nw)]
+        wevents: list[list[TraceEvent]] = [[] for _ in range(nw)]
 
-        for t in graph.tasks:
+        seeded = 0
+        for t in tasks:
             if t.n_deps == 0:
-                ready.push(t)
-        # Per-run countdown of unresolved dependencies (don't mutate the
-        # graph's n_deps so the same graph could be re-analyzed).
-        pending = {t.uid: t.n_deps for t in graph.tasks}
+                deques[seeded % nw].push(t)
+                seeded += 1
+
+        idle_cv = threading.Condition()
+        state = {"remaining": len(tasks), "version": 0}
+        errors: list[BaseException] = []
         t0 = time.perf_counter()
 
+        def try_pop(wid: int) -> Optional[Task]:
+            task = deques[wid].pop()
+            if task is not None:
+                return task
+            for off in range(1, nw):        # steal sweep
+                task = deques[(wid + off) % nw].pop()
+                if task is not None:
+                    return task
+            return None
+
         def worker(wid: int) -> None:
-            nonlocal remaining
+            events = wevents[wid]
+            my = deques[wid]
             while True:
-                with cv:
-                    while len(ready) == 0 and remaining > 0 and not errors:
-                        cv.wait()
-                    if remaining == 0 or errors:
-                        cv.notify_all()
-                        return
-                    task = ready.pop()
+                # Unlocked reads are safe under the GIL; the condvar
+                # re-checks before parking, so no wakeup can be lost.
+                if errors or state["remaining"] == 0:
+                    return
+                version = state["version"]
+                task = try_pop(wid)
+                if task is None:
+                    with idle_cv:
+                        if (state["remaining"] > 0 and not errors
+                                and state["version"] == version):
+                            # Timeout is a lost-wakeup safety net only.
+                            idle_cv.wait(timeout=0.05)
+                    continue
+
                 a = time.perf_counter() - t0
                 try:
                     task.run()
-                except BaseException as exc:  # propagate to caller
-                    with cv:
+                except BaseException as exc:   # propagate to caller
+                    with idle_cv:
                         errors.append(exc)
-                        remaining = 0
-                        cv.notify_all()
+                        idle_cv.notify_all()
                     return
                 b = time.perf_counter() - t0
-                with cv:
-                    task.mark_done()
-                    trace.record(TraceEvent(task.uid, task.name, wid,
-                                            a, b, task.tag))
-                    for s in task.successors:
-                        pending[s.uid] -= 1
-                        if pending[s.uid] == 0:
-                            ready.push(s)
-                    remaining -= 1
-                    cv.notify_all()
+                task.mark_done()
+                events.append(TraceEvent(task.uid, task.name, wid,
+                                         a, b, task.tag))
+
+                made_ready = 0
+                for s in task.successors:
+                    with stripes[s.seq % self.n_stripes]:
+                        pending[s.seq] -= 1
+                        now_ready = pending[s.seq] == 0
+                    if now_ready:
+                        my.push(s)             # locality: keep it local
+                        made_ready += 1
+                with idle_cv:
+                    state["remaining"] -= 1
+                    state["version"] += 1
+                    if state["remaining"] == 0:
+                        idle_cv.notify_all()
+                    elif made_ready > 1:
+                        idle_cv.notify(made_ready - 1)
+                    elif made_ready == 0:
+                        # Nothing new published; peers may still be
+                        # waiting on tasks stolen from us — cheap notify.
+                        idle_cv.notify(1)
 
         threads = [threading.Thread(target=worker, args=(w,), daemon=True)
-                   for w in range(self.n_workers)]
+                   for w in range(nw)]
         for th in threads:
             th.start()
         for th in threads:
             th.join()
         if errors:
             raise errors[0]
+        for events in wevents:
+            for ev in events:
+                trace.record(ev)
+        trace.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
         self.trace = trace
         return trace
