@@ -14,7 +14,10 @@ Three sections, all written to ``BENCH_hotpath.json``:
 ``smoke``
     A small fixed configuration re-run by CI.  ``--smoke`` executes only
     this section and exits non-zero if any timing regresses by more than
-    2x against the committed ``BENCH_hotpath.json``.
+    2x against the committed ``BENCH_hotpath.json``, or if the default
+    telemetry-off solve path drifts more than 3% against the baseline's
+    recorded ``telemetry.solve_off_s`` (the observability subsystem must
+    stay zero-overhead when disabled).
 
 Usage::
 
@@ -246,17 +249,49 @@ def bench_solve(mtype: int, n: int, n_reuse: int = 10) -> dict:
     return rec
 
 
+def bench_telemetry(mtype: int, n: int, repeats: int = 5) -> dict:
+    """Telemetry-off vs telemetry-on latency + a scheduler telemetry block.
+
+    ``solve_off_s`` is the default path (``telemetry=None``) — the gate
+    asserting the observability subsystem stays zero-overhead when
+    disabled keys on it.  ``solve_on_s`` measures the enabled collector
+    on the same sequential solve; ``threads4`` is the compact telemetry
+    block (steal rate, idle fraction, ...) of a 4-worker solve, embedded
+    in the BENCH JSON envelope.
+    """
+    from common import solve_telemetry
+
+    from repro.obs import Collector
+
+    d, e = matrix(mtype, n)
+    off_s = _best_of(lambda: dc_eigh(d, e), repeats)
+    on_s = _best_of(
+        lambda: dc_eigh(d, e, options=DCOptions(telemetry=Collector())),
+        repeats)
+    block = solve_telemetry(d, e, n_workers=4)
+    rec = {"mtype": mtype, "n": n, "solve_off_s": off_s,
+           "solve_on_s": on_s, "on_overhead": on_s / off_s - 1.0,
+           "threads4": block}
+    print(f"  telemetry type {mtype} n={n}: off {off_s:7.3f} s  "
+          f"on {on_s:7.3f} s  (+{100 * rec['on_overhead']:.1f}%)  "
+          f"steal rate {block.get('steal_success_rate')}  "
+          f"idle {block.get('idle_fraction'):.1%}")
+    return rec
+
+
 def bench_smoke() -> dict:
     """Small fixed configuration for CI regression checks."""
     print(f"[smoke] micro n={SMOKE_MICRO_N}, solve n={SMOKE_SOLVE_N}, "
           f"type {SMOKE_MTYPE}")
     micro = bench_micro(SMOKE_MICRO_N, SMOKE_MTYPE)
     solve = bench_solve(SMOKE_MTYPE, SMOKE_SOLVE_N, n_reuse=5)
-    return {"micro": micro, "solve": solve}
+    telemetry = bench_telemetry(SMOKE_MTYPE, SMOKE_SOLVE_N)
+    return {"micro": micro, "solve": solve, "telemetry": telemetry}
 
 
 def check_regression(current: dict, baseline_path: str = BASELINE,
-                     factor: float = 2.0) -> list[str]:
+                     factor: float = 2.0,
+                     telemetry_factor: float = 1.03) -> list[str]:
     """Compare smoke timings against the committed baseline.
 
     Returns a list of human-readable failures (empty = pass).  Only
@@ -292,6 +327,21 @@ def check_regression(current: dict, baseline_path: str = BASELINE,
         failures.append(
             f"reuse amortized_fraction {cur_frac:.3f} > 0.25 "
             "(template instantiation no longer cheap)")
+    # Telemetry-off overhead gate: the observability subsystem must stay
+    # free when disabled.  Tighter than the generic 2x factor — a 3%
+    # drift on the default (telemetry=None) solve path fails the gate.
+    tel_cur, tel_base = current.get("telemetry"), base.get("telemetry")
+    if tel_cur and tel_base:
+        off_cur = tel_cur["solve_off_s"]
+        off_base = tel_base["solve_off_s"]
+        if off_cur > telemetry_factor * off_base:
+            failures.append(
+                f"telemetry/solve_off_s: {off_cur:.4f}s vs baseline "
+                f"{off_base:.4f}s (> {telemetry_factor:.2f}x; "
+                "telemetry-off path is no longer zero-overhead)")
+    elif tel_cur and not tel_base:
+        print("[smoke] baseline has no telemetry block; "
+              "skipping telemetry-off overhead gate")
     return failures
 
 
@@ -340,7 +390,8 @@ def main(argv: list[str] | None = None) -> int:
     payload["smoke"] = bench_smoke()
 
     out_dir = args.out or REPO_ROOT
-    write_bench_json("BENCH_hotpath", payload, directory=out_dir)
+    write_bench_json("BENCH_hotpath", payload, directory=out_dir,
+                     telemetry=payload["smoke"]["telemetry"]["threads4"])
     return 0
 
 

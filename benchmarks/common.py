@@ -37,13 +37,20 @@ def save_table(name: str, text: str) -> None:
 
 
 def write_bench_json(name: str, payload: dict, *,
-                     directory: str | None = None) -> str:
+                     directory: str | None = None,
+                     telemetry: dict | None = None) -> str:
     """Persist a benchmark result as machine-readable JSON.
 
     Writes ``<directory or benchmarks/results>/<name>.json`` with the
     payload wrapped in a small envelope (benchmark name, python/numpy
     versions, platform) so regression tooling can compare runs.  Returns
     the path written.
+
+    ``telemetry`` — optional compact observability block (typically
+    :func:`solve_telemetry` or :func:`repro.obs.telemetry_block`: steal
+    rate, idle fraction, cache hit rate, ...) stored alongside the
+    results so regression gates can key on scheduler behaviour, not just
+    wall time.
     """
     out_dir = directory or RESULTS_DIR
     os.makedirs(out_dir, exist_ok=True)
@@ -55,11 +62,32 @@ def write_bench_json(name: str, payload: dict, *,
         "platform": platform.platform(),
         "results": payload,
     }
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"[bench json saved to {path}]")
     return path
+
+
+def solve_telemetry(d: np.ndarray, e: np.ndarray, *,
+                    options: DCOptions | None = None,
+                    backend: str = "threads",
+                    n_workers: int = 4) -> dict:
+    """Run one instrumented solve and return its compact telemetry block.
+
+    The convenience entry benchmarks use to populate the ``telemetry``
+    envelope of :func:`write_bench_json`.
+    """
+    from repro.core.solver import dc_eigh
+    from repro.obs import Collector, telemetry_block
+
+    col = Collector()
+    opts = (options or DCOptions()).with_(telemetry=col)
+    res = dc_eigh(d, e, options=opts, backend=backend,
+                  n_workers=n_workers, full_result=True)
+    return telemetry_block(col, res.trace)
 
 
 def load_bench_json(path: str) -> dict:

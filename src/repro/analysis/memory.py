@@ -10,7 +10,7 @@ trade-off is quantifiable.
 from __future__ import annotations
 
 __all__ = ["dc_workspace_bytes", "mrrr_workspace_bytes",
-           "workspace_report"]
+           "solve_high_water_bytes", "workspace_report"]
 
 _D = 8  # bytes per double
 
@@ -26,6 +26,19 @@ def dc_workspace_bytes(n: int, extra_workspace: bool = True) -> int:
     * O(n) vectors (d, z, ẑ, λ, τ, permutations).
     """
     x_peak = n * n + (2 * (n // 2) ** 2 if extra_workspace else 0)
+    return _D * (n * n + x_peak + 12 * n)
+
+
+def solve_high_water_bytes(n: int, k_root: int,
+                           extra_workspace: bool = True) -> int:
+    """Observed peak auxiliary bytes of one solve.
+
+    Same accounting as :func:`dc_workspace_bytes` but with the root
+    merge's *actual* secular rank ``k_root`` (deflation shrinks the
+    dominant k×k block below the worst-case n×n) — the telemetry
+    subsystem records this as ``workspace.high_water_bytes``.
+    """
+    x_peak = k_root * k_root + (2 * (n // 2) ** 2 if extra_workspace else 0)
     return _D * (n * n + x_peak + 12 * n)
 
 

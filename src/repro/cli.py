@@ -4,8 +4,12 @@ Subcommands
 -----------
 ``solve``  — solve a Table III matrix with a chosen solver and report
              timing + the paper's accuracy metrics.
-``trace``  — run on the simulated 16-core machine and print the ASCII
-             execution trace (Figs. 3-4 style).
+``trace``  — run one instrumented solve (simulated machine by default,
+             real threads with ``--backend threads``), print the ASCII
+             execution trace (Figs. 3-4 style) plus the telemetry
+             summary, and optionally dump the JSONL event log, the
+             Perfetto/Chrome trace and a Prometheus snapshot
+             (``--out DIR``); see docs/OBSERVABILITY.md.
 ``info``   — list the Table III matrix types.
 """
 
@@ -56,16 +60,28 @@ def _build_parser() -> argparse.ArgumentParser:
     w = sub.add_parser("workspace", help="memory trade-off report")
     w.add_argument("--n", type=int, default=10000)
 
-    t = sub.add_parser("trace", help="simulated-machine execution trace")
+    t = sub.add_parser("trace",
+                       help="instrumented solve: gantt, telemetry summary, "
+                            "and JSONL/Chrome/Prometheus export")
     t.add_argument("--type", type=int, default=4, choices=range(1, 16),
                    metavar="1-15")
     t.add_argument("--n", type=int, default=800)
+    t.add_argument("--size", type=int, default=None,
+                   help="matrix size (alias of --n)")
     t.add_argument("--cores", type=int, default=16)
+    t.add_argument("--backend", default="simulated",
+                   choices=["simulated", "threads", "sequential"],
+                   help="runtime backend to trace (threads exposes the "
+                        "work-stealing counters)")
     t.add_argument("--config", default="full-taskflow",
                    choices=["sequential", "parallel-gemm", "parallel-merge",
                             "full-taskflow"],
                    help="scheduler configuration (Fig. 3 variants)")
     t.add_argument("--width", type=int, default=100, help="chart width")
+    t.add_argument("--out", default=None, metavar="DIR",
+                   help="dump trace.jsonl, trace_chrome.json, gantt.txt, "
+                        "summary.txt and telemetry.prom into DIR")
+    t.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("info", help="list Table III matrix types")
     return p
@@ -117,17 +133,41 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    import json
+    import os
+
     from . import dc_eigh
     from .core.options import FIG3_CONFIGS
     from .matrices import test_matrix
+    from .obs import (Collector, chrome_trace, prometheus_text,
+                      telemetry_summary, write_jsonl)
 
-    d, e = test_matrix(args.type, args.n)
-    opts = FIG3_CONFIGS[args.config].with_(minpart=max(32, args.n // 8))
-    res = dc_eigh(d, e, options=opts, backend="simulated",
+    n = args.size if args.size is not None else args.n
+    d, e = test_matrix(args.type, n, seed=args.seed)
+    collector = Collector()
+    opts = FIG3_CONFIGS[args.config].with_(minpart=max(32, n // 8),
+                                           telemetry=collector)
+    res = dc_eigh(d, e, options=opts, backend=args.backend,
                   n_workers=args.cores, full_result=True)
-    print(res.trace.gantt(width=args.width))
+    gantt = res.trace.gantt(width=args.width)
+    summary = telemetry_summary(collector, res.trace)
+    print(gantt)
     print()
-    print(res.trace.summary())
+    print(summary)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "trace.jsonl"), "w") as fh:
+            n_lines = write_jsonl(fh, collector, res.trace)
+        with open(os.path.join(args.out, "trace_chrome.json"), "w") as fh:
+            json.dump(chrome_trace(res.trace, collector), fh)
+        with open(os.path.join(args.out, "gantt.txt"), "w") as fh:
+            fh.write(gantt + "\n")
+        with open(os.path.join(args.out, "summary.txt"), "w") as fh:
+            fh.write(summary + "\n")
+        with open(os.path.join(args.out, "telemetry.prom"), "w") as fh:
+            fh.write(prometheus_text(collector, res.trace))
+        print(f"\n[wrote trace.jsonl ({n_lines} lines), trace_chrome.json, "
+              f"gantt.txt, summary.txt, telemetry.prom to {args.out}]")
     return 0
 
 

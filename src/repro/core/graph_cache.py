@@ -30,6 +30,7 @@ matrix-dependent work on the matrix-independent DAG.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional
 
 from ..runtime.dag import TaskGraph
@@ -239,15 +240,29 @@ class GraphTemplateCache:
 
         On a miss the graph is built the normal way (``build_tree`` +
         ``submit_dc``) and its skeleton is cached for the next solve of
-        the same shape.
+        the same shape.  Hits/misses and build/instantiation time are
+        recorded into the solve's telemetry sink when one is attached.
         """
+        obs = ctx.obs
         tpl = self.get(key)
         if tpl is not None:
-            return instantiate(tpl, ctx)
+            if not obs.enabled:
+                return instantiate(tpl, ctx)
+            obs.add("graph_cache.hits")
+            t0 = time.perf_counter()
+            out = instantiate(tpl, ctx)
+            obs.observe("graph_cache.instantiate_s",
+                        time.perf_counter() - t0)
+            return out
+        if obs.enabled:
+            obs.add("graph_cache.misses")
+            t0 = time.perf_counter()
         graph = TaskGraph()
         tree = build_tree(ctx.n, ctx.opts.minpart)
         info = submit_dc(graph, ctx, tree)
         self.put(build_template(graph, info, key))
+        if obs.enabled:
+            obs.observe("graph_cache.build_s", time.perf_counter() - t0)
         return graph, info
 
     def clear(self) -> None:

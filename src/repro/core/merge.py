@@ -30,6 +30,7 @@ from ..kernels.secular import solve_secular
 from ..kernels.stabilize import (eigenvector_columns, local_w_product,
                                  reduce_w)
 from ..kernels.steqr import steqr
+from ..obs.recorder import NULL_RECORDER
 from .options import DCOptions
 from .tree import Node
 
@@ -73,6 +74,10 @@ class DCContext:
             raise ValueError("e must have length n-1")
         self.n = n
         self.opts = opts
+        # Telemetry sink: the shared no-op unless DCOptions(telemetry=...)
+        # was given.  Every metric below is guarded by ``obs.enabled``.
+        self.obs = opts.telemetry if opts.telemetry is not None \
+            else NULL_RECORDER
         self.d_in = d
         self.e_in = e
         # Subset computation ([6]-style): indices of wanted eigenpairs.
@@ -222,6 +227,26 @@ class MergeState:
         self.stats.k = k
         self.stats.n_rotations = len(self.defl.rotations)
         ctx._merge_stats[(self.lo, self.hi)] = self.stats
+        obs = ctx.obs
+        if obs.enabled:
+            defl = self.defl
+            n_rot = len(defl.rotations)
+            # Deflation ratio split by type: Givens pairs (close
+            # eigenvalues) vs negligible-z components.
+            obs.observe("merge.deflation_ratio", defl.deflation_ratio)
+            obs.observe("merge.deflation_ratio.givens", n_rot / defl.n)
+            obs.observe("merge.deflation_ratio.smallz",
+                        (defl.n_deflated - n_rot) / defl.n)
+            obs.observe_many("merge.givens_chain_len",
+                             (len(c) for c in self.chains))
+            obs.add("merge.rotations", n_rot)
+            obs.add("merge.count")
+            obs.gauge_max("workspace.x_block_bytes", 8 * k * k)
+            if self.n == ctx.n:       # root merge: the solve's peak
+                from ..analysis.memory import solve_high_water_bytes
+                obs.gauge_max("workspace.high_water_bytes",
+                              solve_high_water_bytes(
+                                  ctx.n, k, ctx.opts.extra_workspace))
 
     def t_apply_givens(self, group: int, n_groups: int) -> None:
         """Apply the deflating rotations of chains ``group mod n_groups``.
@@ -334,7 +359,9 @@ class MergeState:
         if roots.size == 0:
             return
         d = self.defl
-        res = solve_secular(d.dlamda, d.zsec, d.rho, index=roots)
+        obs = self.ctx.obs
+        res = solve_secular(d.dlamda, d.zsec, d.rho, index=roots,
+                            recorder=obs if obs.enabled else None)
         self.orig[roots] = res.orig
         self.tau[roots] = res.tau
         self.lam[roots] = res.lam

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,14 @@ class DCOptions:
         (n, nb, minpart, variant) shape skip ``build_tree`` +
         ``submit_dc`` and only rebind fresh per-solve state onto the
         cached task/dependency skeleton.  Numerics never change.
+    ``telemetry``
+        Optional :class:`~repro.obs.Collector` (or any
+        :class:`~repro.obs.Recorder`).  When set, the solver, schedulers
+        and kernels record spans, scheduler/cache counters and
+        numeric-health metrics into it; ``None`` (default) is the
+        guaranteed zero-overhead path — numerics are bitwise identical
+        either way.  Excluded from equality/hashing: it is a sink, not a
+        tuning knob.
     """
 
     minpart: int = 64
@@ -49,6 +58,7 @@ class DCOptions:
     fork_join: bool = False
     deflation_tol_factor: float = 8.0
     reuse_graph: bool = False
+    telemetry: Any = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.minpart < 1:

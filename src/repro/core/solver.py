@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER
 from ..runtime.dag import TaskGraph
 from ..runtime.quark import Quark
 from ..runtime.simulator import Machine
@@ -94,6 +95,7 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
     columns, or a :class:`DCResult`.
     """
     opts = options or DCOptions()
+    obs = opts.telemetry if opts.telemetry is not None else NULL_RECORDER
     d = np.asarray(d, dtype=np.float64)
     e = np.asarray(e, dtype=np.float64)
     n = d.shape[0]
@@ -106,19 +108,29 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
         return DCResult(lam, V, q.barrier(), TaskGraph(),
                         DCGraphInfo(DCContext(d, e, opts), build_tree(1, 1)))
 
-    ctx = DCContext(d, e, opts, subset=subset)
-    quark = Quark(backend, n_workers=n_workers, machine=machine)
-    if opts.reuse_graph:
-        key = template_key(n, opts,
-                           None if subset is None else ctx.subset.shape[0])
-        graph, info = graph_template_cache.get_or_build(ctx, key)
-        quark.graph = graph
-    else:
-        tree = build_tree(n, opts.minpart)
-        info = submit_dc(quark.graph, ctx, tree)
-        graph = quark.graph
-    trace = quark.barrier()
-    lam, V = ctx.result()
+    with obs.span("solve", n=n, backend=backend):
+        ctx = DCContext(d, e, opts, subset=subset)
+        quark = Quark(backend, n_workers=n_workers, machine=machine,
+                      recorder=opts.telemetry)
+        if opts.reuse_graph:
+            key = template_key(n, opts,
+                               None if subset is None
+                               else ctx.subset.shape[0])
+            with obs.span("graph.instantiate", key=key):
+                graph, info = graph_template_cache.get_or_build(ctx, key)
+            quark.graph = graph
+        else:
+            with obs.span("graph.build"):
+                tree = build_tree(n, opts.minpart)
+                info = submit_dc(quark.graph, ctx, tree)
+                graph = quark.graph
+        if obs.enabled:
+            obs.add("solve.count")
+            obs.add("solve.tasks_submitted", len(graph.tasks))
+        with obs.span("execute"):
+            trace = quark.barrier()
+        with obs.span("finalize"):
+            lam, V = ctx.result()
     if full_result:
         return DCResult(lam, V, trace, graph, info)
     return lam, V

@@ -76,7 +76,7 @@ def eigenvalues_from_roots(dlamda: np.ndarray, orig: np.ndarray,
 
 def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
                   index: np.ndarray | None = None,
-                  max_iter: int = 400) -> SecularRoots:
+                  max_iter: int = 400, recorder=None) -> SecularRoots:
     """Solve the secular equation for the roots listed in ``index``.
 
     Parameters
@@ -86,6 +86,11 @@ def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
     rho : positive rank-one weight.
     index : root indices to solve (default: all k roots).  One LAED4
         panel task passes the root indices of its panel.
+    recorder : optional telemetry sink (:mod:`repro.obs`).  When given,
+        per-root iteration counts are tracked and recorded as the
+        ``secular.iterations`` histogram plus ``secular.sweeps`` /
+        ``secular.roots`` counters; ``None`` (default) keeps the solve
+        loop free of any tracking work.
     """
     dlamda = np.asarray(dlamda, dtype=np.float64)
     z = np.asarray(z, dtype=np.float64)
@@ -105,6 +110,9 @@ def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
         lam = dlamda[0] + rho * zsq[0]
         orig = np.zeros(m, dtype=np.intp)
         tau = np.full(m, rho * zsq[0])
+        if recorder is not None:
+            recorder.add("secular.roots", m)
+            recorder.observe_many("secular.iterations", [0.0] * m)
         return SecularRoots(orig, tau, np.full(m, lam), 0)
 
     interior = js < k - 1
@@ -150,11 +158,15 @@ def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
 
     active = np.ones(m, dtype=bool)
     total_sweeps = 0
+    # Per-root sweep counts, tracked only when telemetry asks for them.
+    iters = np.zeros(m, dtype=np.int64) if recorder is not None else None
     for sweep in range(max_iter):
         if not np.any(active):
             break
         total_sweeps += 1
         ia = np.where(active)[0]
+        if iters is not None:
+            iters[ia] += 1
         ja, ta = js[ia], tau[ia]
         oa = orig[ia]
         delta = (dlamda[:, None] - dlamda[oa][None, :]) - ta[None, :]
@@ -233,6 +245,10 @@ def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
         keep = ~converged
         active[ia] = keep
 
+    if recorder is not None:
+        recorder.add("secular.sweeps", total_sweeps)
+        recorder.add("secular.roots", m)
+        recorder.observe_many("secular.iterations", iters)
     return SecularRoots(orig.astype(np.intp), tau,
                         eigenvalues_from_roots(dlamda, orig, tau),
                         total_sweeps)

@@ -1,0 +1,32 @@
+"""Observability subsystem: spans, counters, metrics, trace export.
+
+Zero-overhead when disabled: the solver, schedulers and kernels all hold
+a :class:`~repro.obs.recorder.NullRecorder` by default and guard every
+metric computation behind ``recorder.enabled``.  Passing
+``DCOptions(telemetry=Collector())`` switches the same call sites to the
+structured :class:`~repro.obs.recorder.Collector`, which captures
+
+* hierarchical wall-clock **spans** (solve → graph build/instantiate →
+  execute → finalize),
+* **scheduler counters** (steal attempts/successes, park cycles and
+  time, per-worker queue-depth samples, dependency-resolution time),
+* **graph-cache counters** (template hits/misses, build/instantiate
+  time),
+* **numeric-health metrics** (per-merge deflation ratios by type, LAED4
+  iteration histograms, Givens chain lengths, workspace high water),
+
+and exports them as a JSONL event log, an enriched Perfetto/Chrome
+trace, or a Prometheus text snapshot (:mod:`repro.obs.export`).  The
+counter naming schema is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from .recorder import (Collector, NullRecorder, NULL_RECORDER, Recorder,
+                       SpanRecord)
+from .export import (chrome_trace, merge_spans_from_trace, prometheus_text,
+                     telemetry_block, telemetry_summary, write_jsonl)
+
+__all__ = [
+    "Collector", "NullRecorder", "NULL_RECORDER", "Recorder", "SpanRecord",
+    "chrome_trace", "merge_spans_from_trace", "prometheus_text",
+    "telemetry_block", "telemetry_summary", "write_jsonl",
+]

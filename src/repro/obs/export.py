@@ -1,0 +1,299 @@
+"""Telemetry exporters: JSON-lines, Perfetto/Chrome trace, Prometheus.
+
+Three machine-readable views plus a human summary over one solve's
+telemetry (:class:`~repro.obs.recorder.Collector` + the scheduler's
+:class:`~repro.runtime.trace.Trace`):
+
+``write_jsonl``
+    One JSON object per line — tasks, spans, counters, histograms,
+    gauges and timeseries samples — the archival event log.
+``chrome_trace``
+    The enriched ``chrome://tracing``/Perfetto document: worker rows
+    from :meth:`Trace.to_chrome_trace` (with process/thread metadata),
+    **counter tracks** (queue depth, ready depth) as ``C`` events,
+    wall-clock solver spans, and merge/level spans synthesized from the
+    task tags — a zoomable version of the paper's Figs. 3–4 with the
+    scheduler's internals on top.
+``prometheus_text``
+    A Prometheus text-format snapshot of counters/gauges/histograms.
+``telemetry_summary`` / ``telemetry_block``
+    Human-readable report and the compact dict embedded in BENCH JSON
+    (steal rate, idle fraction, cache hit rate, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+from ..runtime.trace import Trace
+from .recorder import Collector
+
+__all__ = ["write_jsonl", "chrome_trace", "prometheus_text",
+           "telemetry_summary", "telemetry_block", "merge_spans_from_trace"]
+
+#: Merge-kernel names whose events carry a ``(lo, hi)`` merge tag.
+_MERGE_KERNELS = frozenset({
+    "Compute_deflation", "ApplyGivens", "PermuteV", "LAED4",
+    "ComputeLocalW", "ReduceW", "CopyBackDeflated", "ComputeVect",
+    "UpdateVect",
+})
+
+
+def merge_spans_from_trace(trace: Trace) -> list[dict]:
+    """Synthesize merge and tree-level spans from the flat task events.
+
+    Every merge task is tagged with its node's ``(lo, hi)`` span, so the
+    hierarchy solve → level → merge → task can be rebuilt post hoc with
+    zero runtime cost: a merge span covers [first task start, last task
+    end]; its *level* is the nesting depth of ``(lo, hi)`` containment
+    (the root merge is level 0, leaf-pair merges are the deepest).
+    """
+    merges: dict[tuple[int, int], list[float]] = {}
+    for e in trace.events:
+        tag = e.tag
+        if (e.name in _MERGE_KERNELS and isinstance(tag, tuple)
+                and len(tag) == 2):
+            box = merges.get(tag)
+            if box is None:
+                merges[tag] = [e.t_start, e.t_end]
+            else:
+                box[0] = min(box[0], e.t_start)
+                box[1] = max(box[1], e.t_end)
+    spans = []
+    keys = sorted(merges, key=lambda s: (s[1] - s[0], s[0]))
+    for lo, hi in keys:
+        level = sum(1 for lo2, hi2 in keys
+                    if lo2 <= lo and hi <= hi2 and (lo2, hi2) != (lo, hi))
+        t0, t1 = merges[(lo, hi)]
+        spans.append({"name": f"merge[{lo}:{hi}]", "lo": lo, "hi": hi,
+                      "level": level, "t0": t0, "t1": t1})
+    return spans
+
+
+def _span_alignment(collector: Optional[Collector]) -> tuple[float, float]:
+    """(span_origin, event_shift): offsets putting spans and trace events
+    on one axis, with the ``execute`` span aligned to trace time zero."""
+    if collector is None or not collector.spans:
+        return 0.0, 0.0
+    origin = min(s.t0 for s in collector.spans)
+    exec_t0 = next((s.t0 for s in collector.span_tree()
+                    if s.name == "execute"), origin)
+    return origin, exec_t0 - origin
+
+
+def chrome_trace(trace: Trace,
+                 collector: Optional[Collector] = None) -> dict:
+    """Full Chrome/Perfetto trace document (``{"traceEvents": [...]}``).
+
+    pid 0 carries the worker rows and counter tracks, pid 1 the solver's
+    wall-clock spans, pid 2 the synthesized merge spans (one thread row
+    per tree level).  With a collector, task/counter timestamps are
+    shifted so that execution starts where the ``execute`` span does.
+    """
+    origin, shift = _span_alignment(collector)
+    events = trace.to_chrome_trace(ts_shift=shift)
+    events.append({"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+                   "args": {"name": "merge hierarchy"}})
+    for s in merge_spans_from_trace(trace):
+        events.append({
+            "name": s["name"], "cat": "merge", "ph": "X",
+            "ts": (s["t0"] + shift) * 1e6,
+            "dur": max((s["t1"] - s["t0"]) * 1e6, 0.01),
+            "pid": 2, "tid": s["level"],
+            "args": {"lo": s["lo"], "hi": s["hi"]},
+        })
+        events.append({"ph": "M", "pid": 2, "tid": s["level"],
+                       "name": "thread_name",
+                       "args": {"name": f"level {s['level']}"}})
+    if collector is not None:
+        for (name, track), pairs in sorted(collector.series.items()):
+            for t, v in pairs:
+                events.append({
+                    "name": name, "cat": "counter", "ph": "C",
+                    "ts": (t + shift) * 1e6, "pid": 0,
+                    "args": {f"track{track}": v},
+                })
+        events.append({"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+                       "args": {"name": "solver spans"}})
+        for s in collector.span_tree():
+            events.append({
+                "name": s.name, "cat": "span", "ph": "X",
+                "ts": (s.t0 - origin) * 1e6,
+                "dur": max((s.t1 - s.t0) * 1e6, 0.01),
+                "pid": 1, "tid": 0,
+                "args": {k: repr(v) for k, v in s.attrs.items()},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_jsonl(fh: IO[str], collector: Optional[Collector],
+                trace: Optional[Trace] = None) -> int:
+    """Write the JSON-lines event log; returns the number of lines.
+
+    Line types (field ``type``): ``meta``, ``task``, ``idle``, ``span``,
+    ``counter``, ``gauge``, ``hist``, ``sample``, ``event``.
+    """
+    n = 0
+
+    def emit(obj: dict) -> None:
+        nonlocal n
+        fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        n += 1
+
+    meta: dict = {"type": "meta", "version": 1}
+    if trace is not None:
+        meta["n_workers"] = trace.n_workers
+        meta["makespan_s"] = trace.makespan
+        meta["idle_fraction"] = trace.idle_fraction
+    emit(meta)
+    if trace is not None:
+        for e in trace.events:
+            emit({"type": "task", "name": e.name, "worker": e.worker,
+                  "t0": e.t_start, "t1": e.t_end, "uid": e.task_uid,
+                  "tag": repr(e.tag)})
+        for w, a, b in trace.idle_intervals:
+            emit({"type": "idle", "worker": w, "t0": a, "t1": b})
+    if collector is not None:
+        for s in collector.span_tree():
+            emit({"type": "span", "name": s.name, "sid": s.sid,
+                  "parent": s.parent, "t0": s.t0, "t1": s.t1,
+                  "thread": s.thread,
+                  "attrs": {k: repr(v) for k, v in s.attrs.items()}})
+        for name, value in sorted(collector.counters.items()):
+            emit({"type": "counter", "name": name, "value": value})
+        for name, value in sorted(collector.gauges.items()):
+            emit({"type": "gauge", "name": name, "value": value})
+        for name in sorted(collector.hists):
+            emit({"type": "hist", "name": name,
+                  **(collector.hist_stats(name) or {})})
+        for (name, track), pairs in sorted(collector.series.items()):
+            for t, v in pairs:
+                emit({"type": "sample", "name": name, "track": track,
+                      "t": t, "value": v})
+        for ev in collector.events:
+            emit({"type": "event", **ev})
+    return n
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(collector: Collector,
+                    trace: Optional[Trace] = None) -> str:
+    """Prometheus text-format snapshot of the collected metrics."""
+    lines: list[str] = []
+    for name, value in sorted(collector.counters.items()):
+        pn = _prom_name(name) + "_total"
+        lines += [f"# TYPE {pn} counter", f"{pn} {value:.17g}"]
+    for name, value in sorted(collector.gauges.items()):
+        pn = _prom_name(name)
+        lines += [f"# TYPE {pn} gauge", f"{pn} {value:.17g}"]
+    for name in sorted(collector.hists):
+        st = collector.hist_stats(name)
+        pn = _prom_name(name)
+        lines += [f"# TYPE {pn} summary",
+                  f"{pn}_count {st['count']}",
+                  f"{pn}_sum {st['sum']:.17g}",
+                  f'{pn}{{quantile="0.5"}} {st["p50"]:.17g}',
+                  f'{pn}{{quantile="0.9"}} {st["p90"]:.17g}']
+    if trace is not None:
+        lines += ["# TYPE repro_trace_makespan_seconds gauge",
+                  f"repro_trace_makespan_seconds {trace.makespan:.17g}",
+                  "# TYPE repro_trace_idle_fraction gauge",
+                  f"repro_trace_idle_fraction {trace.idle_fraction:.17g}"]
+    return "\n".join(lines) + "\n"
+
+
+def _rate(hits: float, total: float) -> Optional[float]:
+    return hits / total if total else None
+
+
+def telemetry_block(collector: Optional[Collector],
+                    trace: Optional[Trace] = None) -> dict:
+    """Compact telemetry dict for BENCH JSON / regression gating."""
+    block: dict = {}
+    if trace is not None:
+        block["makespan_s"] = trace.makespan
+        block["idle_fraction"] = trace.idle_fraction
+        block["n_tasks"] = len(trace.events)
+    if collector is None:
+        return block
+    c = collector.counters
+    attempts = c.get("scheduler.steal.attempts", 0.0)
+    block["steal_attempts"] = attempts
+    block["steal_successes"] = c.get("scheduler.steal.successes", 0.0)
+    block["steal_success_rate"] = _rate(block["steal_successes"], attempts)
+    block["parks"] = c.get("scheduler.park.count", 0.0)
+    block["park_time_s"] = c.get("scheduler.park.time_s", 0.0)
+    block["dep_resolve_s"] = c.get("scheduler.dep_resolve.time_s", 0.0)
+    lookups = (c.get("graph_cache.hits", 0.0)
+               + c.get("graph_cache.misses", 0.0))
+    block["cache_hits"] = c.get("graph_cache.hits", 0.0)
+    block["cache_misses"] = c.get("graph_cache.misses", 0.0)
+    block["cache_hit_rate"] = _rate(block["cache_hits"], lookups)
+    for hist in ("merge.deflation_ratio", "secular.iterations"):
+        st = collector.hist_stats(hist)
+        if st is not None:
+            block[hist.replace(".", "_")] = {
+                k: st[k] for k in ("count", "mean", "max")}
+    hw = collector.gauges.get("workspace.high_water_bytes")
+    if hw is not None:
+        block["workspace_high_water_bytes"] = hw
+    return block
+
+
+def _fmt_stats(st: Optional[dict]) -> str:
+    if not st:
+        return "(none)"
+    return (f"n={st['count']}  mean={st['mean']:.3g}  "
+            f"p50={st['p50']:.3g}  p90={st['p90']:.3g}  max={st['max']:.3g}")
+
+
+def telemetry_summary(collector: Optional[Collector],
+                      trace: Optional[Trace] = None) -> str:
+    """Human-readable report: scheduler, cache and numeric health."""
+    rows: list[str] = []
+    if trace is not None:
+        rows.append(trace.summary())
+    if collector is None:
+        return "\n".join(rows)
+    c = collector.counters
+    attempts = c.get("scheduler.steal.attempts", 0.0)
+    hits = c.get("scheduler.steal.successes", 0.0)
+    rows.append("scheduler:")
+    rows.append(f"  steal attempts   : {attempts:.0f}")
+    rows.append(f"  steal successes  : {hits:.0f}"
+                + (f"  ({hits / attempts:.1%} success rate)"
+                   if attempts else ""))
+    rows.append(f"  park cycles      : {c.get('scheduler.park.count', 0):.0f}"
+                f"  ({c.get('scheduler.park.time_s', 0):.4g} s parked)")
+    rows.append("  dep-resolve time : "
+                f"{c.get('scheduler.dep_resolve.time_s', 0):.4g} s")
+    qd = collector.hist_stats("scheduler.queue_depth")
+    if qd:
+        rows.append(f"  queue depth      : {_fmt_stats(qd)}")
+    lookups = c.get("graph_cache.hits", 0.0) + c.get("graph_cache.misses", 0.0)
+    if lookups:
+        rows.append("graph cache:")
+        rows.append(f"  hits/misses      : {c.get('graph_cache.hits', 0):.0f}"
+                    f"/{c.get('graph_cache.misses', 0):.0f}")
+    rows.append("numeric health:")
+    rows.append("  deflation ratio  : "
+                + _fmt_stats(collector.hist_stats("merge.deflation_ratio")))
+    rows.append("  LAED4 iterations : "
+                + _fmt_stats(collector.hist_stats("secular.iterations")))
+    rows.append("  givens chain len : "
+                + _fmt_stats(collector.hist_stats("merge.givens_chain_len")))
+    hw = collector.gauges.get("workspace.high_water_bytes")
+    if hw is not None:
+        rows.append(f"  workspace peak   : {hw / 1e6:.2f} MB")
+    durs: dict[str, float] = {}
+    for s in collector.span_tree():
+        durs[s.name] = durs.get(s.name, 0.0) + s.duration
+    if durs:
+        rows.append("solve phases (wall):")
+        for name, d in sorted(durs.items(), key=lambda kv: -kv[1]):
+            rows.append(f"  {name:<16s} : {d:.6g} s")
+    return "\n".join(rows)

@@ -1,0 +1,276 @@
+"""Recorder protocol and implementations of the telemetry subsystem.
+
+Two recorders implement the same surface:
+
+* :data:`NULL_RECORDER` — a shared, stateless no-op.  Every instrumented
+  site guards its metric computation behind ``recorder.enabled``, so with
+  telemetry disabled (the default) the hot path pays one attribute read
+  and a predictable branch — no allocation, no locking, no timestamping.
+* :class:`Collector` — the structured sink used when
+  ``DCOptions(telemetry=Collector())`` is passed.  It captures four kinds
+  of data, all under one stable, documented naming schema (see
+  ``docs/OBSERVABILITY.md``):
+
+  - **counters** (monotonic sums): ``add(name, value)``;
+  - **histograms** (raw observations): ``observe(name, value)`` /
+    ``observe_many``;
+  - **high-water gauges**: ``gauge_max(name, value)``;
+  - **timeseries samples** (Perfetto counter tracks): ``sample(name,
+    value, t=..., track=...)`` / ``bulk_samples``;
+
+  plus hierarchical wall-clock **spans** (``with collector.span("solve")``)
+  with thread-local nesting — the solve → build/instantiate → execute →
+  finalize skeleton that frames the flat per-task
+  :class:`~repro.runtime.trace.TraceEvent` stream.
+
+All mutation is lock-protected, so worker threads may record directly;
+the thread scheduler nevertheless batches per-worker counters locally
+and merges once per run to keep even the *enabled* path cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol
+
+__all__ = ["Recorder", "NullRecorder", "NULL_RECORDER", "Collector",
+           "SpanRecord"]
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: a named wall-clock interval with nesting."""
+
+    sid: int
+    parent: int                 # parent span id, -1 at the root
+    name: str
+    t0: float                   # seconds since the collector epoch
+    t1: float
+    thread: str
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class _NullSpan:
+    """Reusable no-op context manager (no allocation per call)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Telemetry disabled: every operation is a no-op.
+
+    Shared as the module-level :data:`NULL_RECORDER` singleton so
+    instrumented code can hold a recorder unconditionally and branch on
+    the class attribute ``enabled`` instead of testing for ``None``.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def sample(self, name: str, value: float, t: Optional[float] = None,
+               track: int = 0) -> None:
+        pass
+
+    def bulk_samples(self, name: str, track: int,
+                     pairs: Iterable[tuple[float, float]]) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder(Protocol):
+    """Structural type of a telemetry sink (``DCOptions(telemetry=...)``).
+
+    Anything honouring this surface works; :class:`NullRecorder` and
+    :class:`Collector` are the reference implementations.
+    """
+
+    enabled: bool
+
+    def span(self, name: str, **attrs): ...
+    def event(self, name: str, **attrs) -> None: ...
+    def add(self, name: str, value: float = 1.0) -> None: ...
+    def observe(self, name: str, value: float) -> None: ...
+    def observe_many(self, name: str, values: Iterable[float]) -> None: ...
+    def gauge_max(self, name: str, value: float) -> None: ...
+    def sample(self, name: str, value: float, t: Optional[float] = None,
+               track: int = 0) -> None: ...
+    def bulk_samples(self, name: str, track: int,
+                     pairs: Iterable[tuple[float, float]]) -> None: ...
+
+
+class _SpanCtx:
+    """Context manager returned by :meth:`Collector.span`."""
+
+    __slots__ = ("_col", "_name", "_attrs", "_sid")
+
+    def __init__(self, col: "Collector", name: str, attrs: dict):
+        self._col = col
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanCtx":
+        self._sid = self._col.begin_span(self._name, **self._attrs)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._col.end_span()
+        return False
+
+
+class Collector:
+    """Structured telemetry sink (spans, counters, histograms, samples).
+
+    Timestamps are seconds relative to the collector's construction
+    (``perf_counter`` based); :attr:`t0_abs` keeps the absolute origin so
+    exporters can align span time with scheduler-trace time.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.t0_abs = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_sid = 0
+        self.spans: list[SpanRecord] = []
+        self.events: list[dict] = []
+        self.counters: dict[str, float] = {}
+        self.hists: dict[str, list[float]] = {}
+        self.gauges: dict[str, float] = {}
+        #: (name, track) -> list of (t, value) samples (counter tracks).
+        self.series: dict[tuple[str, int], list[tuple[float, float]]] = {}
+
+    def now(self) -> float:
+        """Seconds since the collector epoch."""
+        return time.perf_counter() - self.t0_abs
+
+    # -- spans -------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanCtx:
+        return _SpanCtx(self, name, attrs)
+
+    def begin_span(self, name: str, **attrs) -> int:
+        stack = self._stack()
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+        parent = stack[-1][0] if stack else -1
+        stack.append((sid, parent, name, self.now(), attrs))
+        return sid
+
+    def end_span(self) -> Optional[SpanRecord]:
+        stack = self._stack()
+        if not stack:
+            return None
+        sid, parent, name, t0, attrs = stack.pop()
+        rec = SpanRecord(sid, parent, name, t0, self.now(),
+                         threading.current_thread().name, attrs)
+        with self._lock:
+            self.spans.append(rec)
+        return rec
+
+    # -- point events ------------------------------------------------------
+    def event(self, name: str, **attrs) -> None:
+        with self._lock:
+            self.events.append({"name": name, "t": self.now(), **attrs})
+
+    # -- counters / histograms / gauges ------------------------------------
+    def add(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.hists.setdefault(name, []).append(float(value))
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        vals = [float(v) for v in values]
+        if not vals:
+            return
+        with self._lock:
+            self.hists.setdefault(name, []).extend(vals)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = float(value)
+
+    # -- timeseries (counter tracks) ---------------------------------------
+    def sample(self, name: str, value: float, t: Optional[float] = None,
+               track: int = 0) -> None:
+        t = self.now() if t is None else t
+        with self._lock:
+            self.series.setdefault((name, track), []).append((t, float(value)))
+
+    def bulk_samples(self, name: str, track: int,
+                     pairs: Iterable[tuple[float, float]]) -> None:
+        pairs = list(pairs)
+        if not pairs:
+            return
+        with self._lock:
+            self.series.setdefault((name, track), []).extend(pairs)
+
+    # -- reading -----------------------------------------------------------
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def hist_stats(self, name: str) -> Optional[dict]:
+        """count/min/max/mean/p50/p90 of one histogram (None if empty)."""
+        vals = self.hists.get(name)
+        if not vals:
+            return None
+        s = sorted(vals)
+        n = len(s)
+        return {
+            "count": n,
+            "min": s[0],
+            "max": s[-1],
+            "mean": sum(s) / n,
+            "p50": s[(n - 1) // 2],
+            "p90": s[min(n - 1, (9 * n) // 10)],
+            "sum": sum(s),
+        }
+
+    def span_tree(self) -> list[SpanRecord]:
+        """All closed spans, parents before children (by start time)."""
+        return sorted(self.spans, key=lambda s: (s.t0, s.sid))

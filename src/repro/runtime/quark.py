@@ -33,8 +33,10 @@ class Quark:
 
     def __init__(self, backend: str = "sequential", *,
                  n_workers: Optional[int] = None,
-                 machine: Optional[Machine] = None):
+                 machine: Optional[Machine] = None,
+                 recorder=None):
         self.backend = backend
+        self.recorder = recorder
         self.machine = machine if machine is not None else (
             Machine() if backend == "simulated" else None)
         if n_workers is None:
@@ -56,11 +58,12 @@ class Quark:
     # -- execution ---------------------------------------------------------------
     def _make_scheduler(self):
         if self.backend == "sequential":
-            return SequentialScheduler()
+            return SequentialScheduler(recorder=self.recorder)
         if self.backend == "threads":
-            return ThreadScheduler(self.n_workers)
+            return ThreadScheduler(self.n_workers, recorder=self.recorder)
         if self.backend == "simulated":
-            return SimulatedMachine(self.machine, n_workers=self.n_workers)
+            return SimulatedMachine(self.machine, n_workers=self.n_workers,
+                                    recorder=self.recorder)
         raise ValueError(f"unknown backend {self.backend!r}")
 
     def barrier(self) -> Trace:

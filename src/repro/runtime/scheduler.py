@@ -52,8 +52,9 @@ class _ReadyQueue:
 class SequentialScheduler:
     """Run the whole graph on the calling thread, in submission order."""
 
-    def __init__(self) -> None:
+    def __init__(self, recorder=None) -> None:
         self.trace: Optional[Trace] = None
+        self.recorder = recorder
 
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
@@ -65,6 +66,9 @@ class SequentialScheduler:
             task.mark_done()
             b = time.perf_counter() - t0
             trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag))
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.add("scheduler.tasks", len(graph.tasks))
         self.trace = trace
         return trace
 
@@ -114,11 +118,13 @@ class ThreadScheduler:
       that publish new ready tasks bump a version counter and notify.
     """
 
-    def __init__(self, n_workers: int = 4, n_stripes: int = 64):
+    def __init__(self, n_workers: int = 4, n_stripes: int = 64,
+                 recorder=None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.n_stripes = max(1, n_stripes)
+        self.recorder = recorder
         self.trace: Optional[Trace] = None
 
     def run(self, graph: TaskGraph) -> Trace:
@@ -133,6 +139,13 @@ class ThreadScheduler:
         stripes = [threading.Lock() for _ in range(self.n_stripes)]
         deques = [_WorkerDeque() for _ in range(nw)]
         wevents: list[list[TraceEvent]] = [[] for _ in range(nw)]
+        widle: list[list[tuple[float, float]]] = [[] for _ in range(nw)]
+        rec = self.recorder
+        # Telemetry is strictly off-hot-path: when disabled nothing below
+        # allocates or times; when enabled, counters accumulate in plain
+        # per-worker slots and merge into the recorder once after join.
+        observe = rec is not None and getattr(rec, "enabled", False)
+        wstats = [_WorkerStats() for _ in range(nw)] if observe else None
 
         seeded = 0
         for t in tasks:
@@ -145,32 +158,47 @@ class ThreadScheduler:
         errors: list[BaseException] = []
         t0 = time.perf_counter()
 
-        def try_pop(wid: int) -> Optional[Task]:
+        def try_pop(wid: int, st: Optional["_WorkerStats"]) -> Optional[Task]:
             task = deques[wid].pop()
             if task is not None:
                 return task
+            if st is not None:
+                st.steal_attempts += 1
             for off in range(1, nw):        # steal sweep
                 task = deques[(wid + off) % nw].pop()
                 if task is not None:
+                    if st is not None:
+                        st.steal_successes += 1
                     return task
             return None
 
         def worker(wid: int) -> None:
             events = wevents[wid]
+            idles = widle[wid]
             my = deques[wid]
+            st = wstats[wid] if observe else None
             while True:
                 # Unlocked reads are safe under the GIL; the condvar
                 # re-checks before parking, so no wakeup can be lost.
                 if errors or state["remaining"] == 0:
                     return
                 version = state["version"]
-                task = try_pop(wid)
+                task = try_pop(wid, st)
                 if task is None:
+                    parked = False
                     with idle_cv:
                         if (state["remaining"] > 0 and not errors
                                 and state["version"] == version):
+                            pa = time.perf_counter() - t0
                             # Timeout is a lost-wakeup safety net only.
                             idle_cv.wait(timeout=0.05)
+                            pb = time.perf_counter() - t0
+                            parked = True
+                    if parked:
+                        idles.append((pa, pb))
+                        if st is not None:
+                            st.parks += 1
+                            st.park_s += pb - pa
                     continue
 
                 a = time.perf_counter() - t0
@@ -187,6 +215,8 @@ class ThreadScheduler:
                                          a, b, task.tag))
 
                 made_ready = 0
+                if st is not None:
+                    ra = time.perf_counter()
                 for s in task.successors:
                     with stripes[s.seq % self.n_stripes]:
                         pending[s.seq] -= 1
@@ -194,6 +224,9 @@ class ThreadScheduler:
                     if now_ready:
                         my.push(s)             # locality: keep it local
                         made_ready += 1
+                if st is not None:
+                    st.dep_s += time.perf_counter() - ra
+                    st.depth_samples.append((b, float(len(my.heap))))
                 with idle_cv:
                     state["remaining"] -= 1
                     state["version"] += 1
@@ -218,5 +251,40 @@ class ThreadScheduler:
             for ev in events:
                 trace.record(ev)
         trace.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
+        for w, idles in enumerate(widle):
+            for a, b in idles:
+                trace.record_idle(w, a, b)
+        if observe:
+            self._merge_stats(rec, wstats, len(tasks))
         self.trace = trace
         return trace
+
+    @staticmethod
+    def _merge_stats(rec, wstats: list["_WorkerStats"], n_tasks: int) -> None:
+        """Fold the per-worker counter slots into the recorder."""
+        rec.add("scheduler.tasks", n_tasks)
+        for w, st in enumerate(wstats):
+            rec.add("scheduler.steal.attempts", st.steal_attempts)
+            rec.add("scheduler.steal.successes", st.steal_successes)
+            rec.add("scheduler.park.count", st.parks)
+            rec.add("scheduler.park.time_s", st.park_s)
+            rec.add("scheduler.dep_resolve.time_s", st.dep_s)
+            rec.bulk_samples("scheduler.queue_depth", w, st.depth_samples)
+            rec.observe_many("scheduler.queue_depth",
+                             (d for _, d in st.depth_samples))
+
+
+class _WorkerStats:
+    """Per-worker telemetry slots, merged into the recorder after join
+    (no locks or recorder calls on the worker loop)."""
+
+    __slots__ = ("steal_attempts", "steal_successes", "parks", "park_s",
+                 "dep_s", "depth_samples")
+
+    def __init__(self) -> None:
+        self.steal_attempts = 0
+        self.steal_successes = 0
+        self.parks = 0
+        self.park_s = 0.0
+        self.dep_s = 0.0
+        self.depth_samples: list[tuple[float, float]] = []

@@ -126,7 +126,8 @@ class SimulatedMachine:
 
     def __init__(self, machine: Machine | None = None,
                  n_workers: Optional[int] = None,
-                 execute: bool = True):
+                 execute: bool = True, recorder=None):
+        self.recorder = recorder
         base = machine or Machine()
         if n_workers is not None and n_workers != base.n_cores:
             # Re-derive a machine with the requested core count on the
@@ -159,6 +160,10 @@ class SimulatedMachine:
         now = 0.0
         n_done = 0
         total = len(graph.tasks)
+        rec = self.recorder
+        observe = rec is not None and getattr(rec, "enabled", False)
+        #: (virtual t, ready-queue depth) samples for the counter track.
+        depth_samples: list[tuple[float, float]] = [] if observe else None
 
         def rates() -> dict[int, float]:
             """Instantaneous progress rate for each running task (by uid)."""
@@ -196,6 +201,9 @@ class SimulatedMachine:
                 kind, work, over = m.work_of(cost, task.name)
                 running.append(_Running(task, worker, m.socket_of(worker),
                                         kind, work, over, now))
+
+            if observe:
+                depth_samples.append((now, float(len(ready))))
 
             if not running:
                 if n_done < total:
@@ -243,5 +251,10 @@ class SimulatedMachine:
                 n_done += 1
             free_workers.sort(reverse=True)
 
+        if observe:
+            rec.add("scheduler.tasks", total)
+            rec.bulk_samples("scheduler.ready_depth", 0, depth_samples)
+            rec.observe_many("scheduler.ready_depth",
+                             (d for _, d in depth_samples))
         self.trace = trace
         return trace

@@ -40,9 +40,16 @@ class Trace:
     def __init__(self, n_workers: int):
         self.n_workers = n_workers
         self.events: list[TraceEvent] = []
+        #: Measured parked intervals ``(worker, t_start, t_end)`` — filled
+        #: by the thread scheduler; empty for backends without parking.
+        self.idle_intervals: list[tuple[int, float, float]] = []
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)
+
+    def record_idle(self, worker: int, t_start: float, t_end: float) -> None:
+        if t_end > t_start:
+            self.idle_intervals.append((worker, t_start, t_end))
 
     # -- summary statistics -------------------------------------------------
     @property
@@ -59,7 +66,26 @@ class Trace:
 
     @property
     def idle_fraction(self) -> float:
-        """Fraction of worker-seconds spent idle within the makespan."""
+        """Fraction of worker-seconds spent idle within the makespan.
+
+        With measured park intervals (thread scheduler), this is the
+        parked time clipped to the makespan window; otherwise it falls
+        back to the complement of the busy time.
+        """
+        total = self.makespan * self.n_workers
+        if total <= 0.0:
+            return 0.0
+        if self.idle_intervals:
+            t0 = min(e.t_start for e in self.events)
+            t1 = max(e.t_end for e in self.events)
+            parked = sum(max(0.0, min(b, t1) - max(a, t0))
+                         for _, a, b in self.idle_intervals)
+            return min(1.0, parked / total)
+        return max(0.0, 1.0 - self.busy_time / total)
+
+    @property
+    def inferred_idle_fraction(self) -> float:
+        """Complement-of-busy idle estimate (ignores measured parking)."""
         total = self.makespan * self.n_workers
         if total <= 0.0:
             return 0.0
@@ -96,17 +122,18 @@ class Trace:
         span = self.makespan or 1.0
         scale = width / span
         names = sorted({e.name for e in self.events})
-        letters = {}
-        alphabet = "UVLWSQIDPCABEFGHJKMNORTXYZ"
-        for i, n in enumerate(names):
-            # Prefer the kernel's own initial when unique.
-            c = n[0].upper()
-            if c in letters.values():
-                c = alphabet[i % len(alphabet)]
-                while c in letters.values():
-                    i += 1
-                    c = alphabet[i % len(alphabet)]
+        letters: dict[str, str] = {}
+        pool = "UVLWSQIDPCABEFGHJKMNORTXYZ0123456789"
+        taken: set[str] = set()
+        for n in names:
+            # Prefer the kernel's own initial when unique; otherwise take
+            # the first unused letter/digit, and once the whole pool is
+            # exhausted (> 36 distinct names) deterministically share '#'.
+            c = n[0].upper() if n else "#"
+            if not c.isalnum() or c in taken:
+                c = next((p for p in pool if p not in taken), "#")
             letters[n] = c
+            taken.add(c)
         lines = []
         for w, row in enumerate(self.worker_events()):
             buf = ["."] * width
@@ -122,21 +149,34 @@ class Trace:
             lines.append(f"legend: {leg}   (.=idle)  makespan={span:.4g}s")
         return "\n".join(lines)
 
-    def to_chrome_trace(self) -> list[dict]:
+    def to_chrome_trace(self, ts_shift: float = 0.0) -> list[dict]:
         """Chrome ``chrome://tracing`` / Perfetto event list.
 
         Each task becomes a complete ("X") event on its worker row;
-        timestamps are microseconds.  Dump with ``json.dump`` and load
-        in any trace viewer for a zoomable version of the paper's
-        Figs. 3-4.
+        timestamps are microseconds (optionally shifted by ``ts_shift``
+        seconds so callers can align with other clocks).  Metadata
+        ("M"-phase) records name the process and every worker row and
+        order the rows by worker id, so Perfetto labels them.  Dump with
+        ``json.dump`` and load in any trace viewer for a zoomable
+        version of the paper's Figs. 3-4.
         """
-        events: list[dict] = []
+        events: list[dict] = [{
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": "repro-eig workers"},
+        }]
+        for w in range(self.n_workers):
+            events.append({"ph": "M", "pid": 0, "tid": w,
+                           "name": "thread_name",
+                           "args": {"name": f"worker {w}"}})
+            events.append({"ph": "M", "pid": 0, "tid": w,
+                           "name": "thread_sort_index",
+                           "args": {"sort_index": w}})
         for e in sorted(self.events, key=lambda ev: ev.t_start):
             events.append({
                 "name": e.name,
                 "cat": "task",
                 "ph": "X",
-                "ts": e.t_start * 1e6,
+                "ts": (e.t_start + ts_shift) * 1e6,
                 "dur": max(e.duration * 1e6, 0.01),
                 "pid": 0,
                 "tid": e.worker,
@@ -147,9 +187,13 @@ class Trace:
     def summary(self) -> str:
         kt = self.kernel_times()
         total = sum(kt.values()) or 1.0
+        idle = f"idle fraction : {self.idle_fraction:.1%}"
+        if self.idle_intervals:
+            idle += (f"  (measured parking; inferred "
+                     f"{self.inferred_idle_fraction:.1%})")
         rows = [f"makespan      : {self.makespan:.6g} s",
                 f"busy time     : {self.busy_time:.6g} worker-s",
-                f"idle fraction : {self.idle_fraction:.1%}",
+                idle,
                 "per-kernel time:"]
         for k, v in sorted(kt.items(), key=lambda kv: -kv[1]):
             rows.append(f"  {k:<20s} {v:>12.6g} s  ({v / total:6.1%})"

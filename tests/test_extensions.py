@@ -120,14 +120,16 @@ def test_chrome_trace_roundtrips_as_json():
     d, e = _setup(100)
     res = dc_eigh(d, e, backend="simulated", full_result=True)
     events = res.trace.to_chrome_trace()
-    assert len(events) == len(res.trace.events)
     blob = json.dumps(events)
     parsed = json.loads(blob)
-    assert parsed[0]["ph"] == "X"
+    # Metadata (process/thread names) leads, one X event per task follows.
+    assert parsed[0]["ph"] == "M"
+    tasks = [ev for ev in parsed if ev["ph"] == "X"]
+    assert len(tasks) == len(res.trace.events)
     assert {e["tid"] for e in parsed} <= set(range(16))
     # Durations positive, timestamps sorted.
-    assert all(ev["dur"] > 0 for ev in parsed)
-    ts = [ev["ts"] for ev in parsed]
+    assert all(ev["dur"] > 0 for ev in tasks)
+    ts = [ev["ts"] for ev in tasks]
     assert ts == sorted(ts)
 
 
