@@ -15,6 +15,11 @@ Top-level API
     Full dense symmetric eigensolver (tridiagonalization + D&C +
     back-transformation).
 
+Error model: every failure derives from :class:`repro.errors.ReproError`
+— ``InputError`` at the API boundary, ``ConvergenceError`` from iterative
+kernels, ``TaskFailure`` (with task name/seq/tag context) from the
+runtime.  See :mod:`repro.errors`.
+
 Subpackages: ``runtime`` (QUARK-like task runtime), ``kernels``
 (LAPACK-equivalent numerical kernels), ``core`` (D&C), ``mrrr``,
 ``baselines``, ``matrices`` (Table III generators), ``analysis``.
@@ -23,7 +28,8 @@ Subpackages: ``runtime`` (QUARK-like task runtime), ``kernels``
 __version__ = "1.0.0"
 
 __all__ = ["dc_eigh", "dc_eigh_many", "mrrr_eigh", "eigh", "svd",
-           "__version__"]
+           "ReproError", "InputError", "ConvergenceError", "TaskFailure",
+           "SolveFailure", "__version__"]
 
 
 def __getattr__(name):
@@ -35,6 +41,14 @@ def __getattr__(name):
     if name == "dc_eigh_many":
         from .core.solver import dc_eigh_many
         return dc_eigh_many
+    if name == "SolveFailure":
+        from .core.solver import SolveFailure
+        return SolveFailure
+    if name in ("ReproError", "InputError", "ConvergenceError",
+                "TaskFailure", "InjectedFault", "GraphError",
+                "SchedulerError"):
+        from . import errors
+        return getattr(errors, name)
     if name == "eigh":
         from .core.dense import eigh
         return eigh

@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--reuse-graph", action="store_true",
                    help="reuse the matrix-independent DAG template "
                         "across same-shape solves (dc solver only)")
+    s.add_argument("--inject", default=None, metavar="SPEC",
+                   help="deterministic fault injection (dc solver only): "
+                        "task:SEQ | kernel:NAME[:NTH] | p:PROB[:SEED]")
     s.add_argument("--seed", type=int, default=0)
 
     v = sub.add_parser("svd", help="D&C SVD of a random dense matrix")
@@ -102,11 +105,20 @@ def _cmd_solve(args) -> int:
     if args.solver == "dc":
         from . import dc_eigh
         from .core import DCOptions
+        from .errors import ReproError
+        from .runtime.faults import FaultSpec
+        inject = getattr(args, "inject", None)
         opts = DCOptions(reuse_graph=bool(getattr(args, "reuse_graph",
-                                                  False)))
-        for _ in range(repeat):
-            lam, V = dc_eigh(d, e, options=opts, backend=args.backend,
-                             n_workers=args.workers, subset=subset)
+                                                  False)),
+                         fault_injection=(FaultSpec.parse(inject)
+                                          if inject else None))
+        try:
+            for _ in range(repeat):
+                lam, V = dc_eigh(d, e, options=opts, backend=args.backend,
+                                 n_workers=args.workers, subset=subset)
+        except ReproError as exc:
+            print(f"error   : {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
     elif args.solver == "lapack-dc":
         from .baselines import lapack_dc_eigh
         lam, V = lapack_dc_eigh(d, e, backend=args.backend,

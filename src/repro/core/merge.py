@@ -17,12 +17,14 @@ explicit inter-level permutation is required; a final
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from ..errors import ConvergenceError, InputError
 from ..kernels.deflation import DeflationResult, deflate, rotation_chains
 from ..kernels.givens import apply_rotation_chains
 from ..kernels.scaling import ScaleInfo, scale_tridiagonal
@@ -54,6 +56,7 @@ class MergeStats:
     secular_sweeps: int = 0
     lo: int = 0
     hi: int = 0
+    fallback: bool = False
 
     @property
     def deflation_ratio(self) -> float:
@@ -69,9 +72,13 @@ class DCContext:
         e = np.asarray(e, dtype=np.float64)
         n = d.shape[0]
         if n == 0:
-            raise ValueError("empty matrix")
+            raise InputError("empty matrix")
         if e.shape[0] != max(0, n - 1):
-            raise ValueError("e must have length n-1")
+            raise InputError("e must have length n-1")
+        if not np.isfinite(d).all() or not np.isfinite(e).all():
+            # Defense in depth: dc_eigh validates at the API boundary,
+            # but DCContext is also constructed directly by tests/tools.
+            raise InputError("tridiagonal input contains non-finite entries")
         self.n = n
         self.opts = opts
         # Telemetry sink: the shared no-op unless DCOptions(telemetry=...)
@@ -85,8 +92,11 @@ class DCContext:
         # eigenvector update and the output are restricted.
         if subset is not None:
             subset = np.unique(np.asarray(subset, dtype=np.intp))
-            if subset.size == 0 or subset[0] < 0 or subset[-1] >= n:
-                raise ValueError("subset indices out of range")
+            # Empty is legal: "all eigenvalues, no eigenvectors".
+            if subset.size and (subset[0] < 0 or subset[-1] >= n):
+                bad = int(subset[0]) if subset[0] < 0 else int(subset[-1])
+                raise InputError(
+                    f"subset index {bad} out of range for n={n}")
         self.subset = subset
         # Filled by the ScaleT / Partition tasks:
         self.d: Optional[np.ndarray] = None
@@ -184,6 +194,22 @@ class MergeState:
         # concurrently under the threads backend, so a shared
         # read-modify-write on stats.secular_sweeps would race.
         self._sweeps: dict[int, int] = {}
+        # Graceful degradation: when the secular solve of this merge
+        # fails (no convergence / non-finite roots), the merge falls
+        # back to STEQR on its subproblem.  The rewrite must happen
+        # after *every* writer of the node's eigenvector block has
+        # finished — CopyBackDeflated and UpdateVect panels share one
+        # GATHERV group on hV, so they carry no mutual edges and run
+        # concurrently under the threads backend.  Each of the 2·npan
+        # writer tasks decrements the countdown when it completes; the
+        # last one performs the fallback.  Detection always precedes the
+        # last writer: every UpdateVect depends (transitively, through
+        # ReduceW → hW → ComputeVect) on every LAED4 panel.
+        self.secular_failed = False
+        self.fallback_exc: Optional[BaseException] = None
+        self._flock = threading.Lock()
+        self._writers_left = 2 * len(
+            panel_ranges(node.n, ctx.opts.effective_nb(ctx.n)))
 
     # convenience ----------------------------------------------------------
     @property
@@ -202,6 +228,57 @@ class MergeState:
         """Root indices of panel [p0, p1) — empty once past k (the
         paper's deflation-independent DAG: surplus tasks become no-ops)."""
         return np.arange(p0, min(p1, self.k), dtype=np.intp)
+
+    # -- secular-failure fallback ------------------------------------------
+    def _mark_secular_failure(self, exc: BaseException) -> None:
+        """Record a secular-solve failure; first cause wins."""
+        with self._flock:
+            self.secular_failed = True
+            if self.fallback_exc is None:
+                self.fallback_exc = exc
+
+    def _writer_done(self) -> None:
+        """Countdown called by every CopyBackDeflated/UpdateVect panel.
+
+        The last writer sees the final value of ``secular_failed`` (all
+        detection sites are ordered before it by the DAG) and performs
+        the STEQR fallback with exclusive access to the block."""
+        with self._flock:
+            self._writers_left -= 1
+            last = self._writers_left == 0
+        if last and self.secular_failed:
+            self._apply_fallback()
+
+    def _apply_fallback(self) -> None:
+        """Recompute the merge's block directly with STEQR (Sec. II QR
+        iteration) after a secular failure.
+
+        After the merge of [lo, hi) completes, the block must hold the
+        eigendecomposition of the *scaled* tridiagonal T[lo:hi] with the
+        −|β| corner corrections of the still-unmerged ancestor cuts
+        (Eq. 5): interior cut corrections were undone by the subtree's
+        own merges, so only the lo/hi boundaries remain adjusted."""
+        ctx = self.ctx
+        lo, hi = self.lo, self.hi
+        d_sub = ctx.d[lo:hi].copy()
+        if lo > 0:
+            d_sub[0] -= abs(ctx.e[lo - 1])
+        if hi < ctx.n:
+            d_sub[-1] -= abs(ctx.e[hi - 1])
+        try:
+            lam, Vb = steqr(d_sub, ctx.e[lo:hi - 1])
+        except Exception as exc:
+            raise ConvergenceError(
+                f"secular solve failed on merge [{lo}, {hi}) "
+                f"({self.fallback_exc}) and the STEQR fallback "
+                f"also failed") from exc
+        ctx.D[lo:hi] = lam
+        ctx.V[:, lo:hi] = 0.0
+        ctx.V[lo:hi, lo:hi] = Vb
+        self.stats.fallback = True
+        obs = ctx.obs
+        if obs.enabled:
+            obs.add("solve.fallbacks")
 
     # -- kernels ------------------------------------------------------------
     def t_compute_deflation(self) -> None:
@@ -360,8 +437,19 @@ class MergeState:
             return
         d = self.defl
         obs = self.ctx.obs
-        res = solve_secular(d.dlamda, d.zsec, d.rho, index=roots,
-                            recorder=obs if obs.enabled else None)
+        try:
+            res = solve_secular(d.dlamda, d.zsec, d.rho, index=roots,
+                                recorder=obs if obs.enabled else None)
+        except Exception as exc:
+            # Graceful degradation: flag the merge for the STEQR
+            # fallback instead of failing the whole solve.
+            self._mark_secular_failure(exc)
+            return
+        if not (np.isfinite(res.tau).all() and np.isfinite(res.lam).all()):
+            self._mark_secular_failure(ConvergenceError(
+                f"secular solve produced non-finite roots on merge "
+                f"[{self.lo}, {self.hi})"))
+            return
         self.orig[roots] = res.orig
         self.tau[roots] = res.tau
         self.lam[roots] = res.lam
@@ -369,6 +457,10 @@ class MergeState:
         self._sweeps[p0] = res.iterations
 
     def t_local_w_panel(self, p0: int, p1: int, pid: int) -> None:
+        if self.secular_failed:
+            # This panel's LAED4 is ordered before us; if it flagged the
+            # failure its outputs are unset, so skip the product.
+            return
         roots = self.clip_roots(p0, p1)
         if roots.size == 0:
             return
@@ -384,8 +476,11 @@ class MergeState:
         # of the last update step; see paper Sec. I).
         ctx = self.ctx
         # All LAED4 panels are ordered before ReduceW (through the
-        # ComputeLocalW -> hW GATHERV group), so this reduction is safe.
+        # ComputeLocalW -> hW GATHERV group), so this reduction is safe
+        # and `secular_failed` is final here.
         self.stats.secular_sweeps = sum(self._sweeps.values())
+        if self.secular_failed:
+            return
         if ctx.subset is not None and self.n == ctx.n:
             lam_stored = np.concatenate([self.lam, self.defl.d_defl])
             ranks = np.empty(self.n, dtype=np.intp)
@@ -397,18 +492,31 @@ class MergeState:
             self.zhat = np.zeros(0)
             return
         parts = [self.wparts[pid] for pid in sorted(self.wparts)]
-        self.zhat = reduce_w(parts, self.defl.zsec, self.defl.rho)
+        zhat = reduce_w(parts, self.defl.zsec, self.defl.rho)
+        if not np.isfinite(zhat).all():
+            self._mark_secular_failure(ConvergenceError(
+                f"rank-one update vector is non-finite on merge "
+                f"[{self.lo}, {self.hi})"))
+            return
+        self.zhat = zhat
 
     def t_copyback_panel(self, p0: int, p1: int) -> None:
-        ctx = self.ctx
-        d = self.defl
-        lo, hi = self.lo, self.hi
-        k = self.k
-        a, b = max(p0, k), min(p1, self.n)
-        if a >= b:
-            return
-        ctx.V[lo:hi, lo + a:lo + b] = ctx.Vws[lo:hi, lo + a:lo + b]
-        ctx.D[lo + a:lo + b] = d.d_defl[a - k:b - k]
+        try:
+            ctx = self.ctx
+            d = self.defl
+            lo, hi = self.lo, self.hi
+            k = self.k
+            a, b = max(p0, k), min(p1, self.n)
+            if a >= b:
+                return
+            ctx.V[lo:hi, lo + a:lo + b] = ctx.Vws[lo:hi, lo + a:lo + b]
+            ctx.D[lo + a:lo + b] = d.d_defl[a - k:b - k]
+        finally:
+            # hV writer countdown (the copies above are redundant when a
+            # secular failure was flagged, but skipping them on a flag
+            # that may not be final yet would be racy; the fallback
+            # rewrite supersedes them either way).
+            self._writer_done()
 
     def t_copyback_panel_ref(self, p0: int, p1: int) -> None:
         """Seed (column-at-a-time) implementation of
@@ -425,6 +533,10 @@ class MergeState:
         return float(n_cols * self.n)
 
     def t_compute_vect_panel(self, p0: int, p1: int) -> None:
+        if self.secular_failed:
+            # Final here: ReduceW (a detection site ordered after every
+            # LAED4) precedes all ComputeVect panels; zhat may be unset.
+            return
         cols = self.clip_roots(p0, p1)
         if cols.size == 0:
             return
@@ -442,34 +554,45 @@ class MergeState:
         return cols
 
     def t_update_vect_panel(self, p0: int, p1: int) -> None:
-        ctx = self.ctx
-        # Eigenvalues are always produced for every panel root (the
-        # final ordering needs them), even when the vector is skipped.
-        roots = self.clip_roots(p0, p1)
-        if roots.size == 0:
-            return
-        ctx.D[self.lo + roots] = self.lam[roots]
-        cols = self.update_cols(p0, p1)
-        if cols.size == 0:
-            return
-        lo, mid, hi = self.lo, self.mid, self.hi
-        k1, k2, _ = self.defl.ctot
-        k = self.k
-        k12 = k1 + k2
-        if cols.size == roots.size:
-            dst = slice(lo + int(cols[0]), lo + int(cols[-1]) + 1)
-            xs: slice | np.ndarray = slice(int(cols[0]), int(cols[-1]) + 1)
-        else:   # subset at the root: possibly non-contiguous columns
-            dst = lo + cols
-            xs = cols
-        if k12:
-            ctx.V[lo:mid, dst] = ctx.Vws[lo:mid, lo:lo + k12] @ self.X[:k12, xs]
-        else:
-            ctx.V[lo:mid, dst] = 0.0
-        if k - k1:
-            ctx.V[mid:hi, dst] = ctx.Vws[mid:hi, lo + k1:lo + k] @ self.X[k1:k, xs]
-        else:
-            ctx.V[mid:hi, dst] = 0.0
+        try:
+            if self.secular_failed:
+                # Final here (every UpdateVect depends on ReduceW and
+                # all LAED4 panels): lam/X are unset, the fallback will
+                # rewrite the block.
+                return
+            ctx = self.ctx
+            # Eigenvalues are always produced for every panel root (the
+            # final ordering needs them), even when the vector is skipped.
+            roots = self.clip_roots(p0, p1)
+            if roots.size == 0:
+                return
+            ctx.D[self.lo + roots] = self.lam[roots]
+            cols = self.update_cols(p0, p1)
+            if cols.size == 0:
+                return
+            lo, mid, hi = self.lo, self.mid, self.hi
+            k1, k2, _ = self.defl.ctot
+            k = self.k
+            k12 = k1 + k2
+            if cols.size == roots.size:
+                dst = slice(lo + int(cols[0]), lo + int(cols[-1]) + 1)
+                xs: slice | np.ndarray = slice(int(cols[0]),
+                                               int(cols[-1]) + 1)
+            else:   # subset at the root: possibly non-contiguous columns
+                dst = lo + cols
+                xs = cols
+            if k12:
+                ctx.V[lo:mid, dst] = \
+                    ctx.Vws[lo:mid, lo:lo + k12] @ self.X[:k12, xs]
+            else:
+                ctx.V[lo:mid, dst] = 0.0
+            if k - k1:
+                ctx.V[mid:hi, dst] = \
+                    ctx.Vws[mid:hi, lo + k1:lo + k] @ self.X[k1:k, xs]
+            else:
+                ctx.V[mid:hi, dst] = 0.0
+        finally:
+            self._writer_done()
 
     def update_vect_shape(self, p0: int, p1: int) -> tuple[int, int, int, int, int]:
         """(n1, n2, k12, k23, m) for the cost model; m reflects subset

@@ -49,6 +49,13 @@ class DCOptions:
         guaranteed zero-overhead path — numerics are bitwise identical
         either way.  Excluded from equality/hashing: it is a sink, not a
         tuning knob.
+    ``fault_injection``
+        Optional :class:`~repro.runtime.faults.FaultSpec` — a
+        deterministic test hook that makes the selected task(s) raise
+        :class:`~repro.errors.InjectedFault` at execution time (fail
+        task N / kernel name / probability with seed), exercising the
+        cancellation and error-propagation paths.  ``None`` (default)
+        adds no work to the hot path.
     """
 
     minpart: int = 64
@@ -59,6 +66,7 @@ class DCOptions:
     deflation_tol_factor: float = 8.0
     reuse_graph: bool = False
     telemetry: Any = field(default=None, compare=False)
+    fault_injection: Any = None
 
     def __post_init__(self) -> None:
         if self.minpart < 1:

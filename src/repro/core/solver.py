@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import ReproError, validate_subset, validate_tridiagonal
 from ..obs.recorder import NULL_RECORDER
 from ..runtime.dag import TaskGraph
 from ..runtime.quark import Quark
@@ -31,7 +32,8 @@ from .options import DCOptions
 from .tasks import DCGraphInfo, submit_dc
 from .tree import build_tree
 
-__all__ = ["dc_eigh", "dc_eigh_many", "DCResult", "DCOptions"]
+__all__ = ["dc_eigh", "dc_eigh_many", "DCResult", "SolveFailure",
+           "DCOptions"]
 
 
 @dataclass
@@ -59,6 +61,19 @@ class DCResult:
         """Deflation ratio of the final (dominant) merge."""
         stats = self.info.ctx.merge_stats
         return stats[-1].deflation_ratio if stats else 0.0
+
+
+@dataclass
+class SolveFailure:
+    """Error record for one failed problem of a :func:`dc_eigh_many` batch.
+
+    Takes the failed problem's slot in the result list so the batch keeps
+    its input order; ``error`` is the typed :class:`~repro.errors.ReproError`
+    (with the original cause chained) that the solve raised.
+    """
+
+    index: int
+    error: ReproError
 
 
 def dc_eigh(d: np.ndarray, e: np.ndarray, *,
@@ -96,12 +111,15 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
     """
     opts = options or DCOptions()
     obs = opts.telemetry if opts.telemetry is not None else NULL_RECORDER
-    d = np.asarray(d, dtype=np.float64)
-    e = np.asarray(e, dtype=np.float64)
+    d, e = validate_tridiagonal(d, e)
     n = d.shape[0]
+    subset = validate_subset(subset, n)
 
     if n == 1:
-        lam, V = d.copy(), np.ones((1, 1))
+        # The fast path honours `subset` like the general path: V has
+        # one column per wanted index (possibly zero).
+        lam = d.copy() if subset is None else d[subset]
+        V = np.ones((1, 1 if subset is None else subset.shape[0]))
         if not full_result:
             return lam, V
         q = Quark("sequential")
@@ -111,7 +129,8 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
     with obs.span("solve", n=n, backend=backend):
         ctx = DCContext(d, e, opts, subset=subset)
         quark = Quark(backend, n_workers=n_workers, machine=machine,
-                      recorder=opts.telemetry)
+                      recorder=opts.telemetry,
+                      fault_injection=opts.fault_injection)
         if opts.reuse_graph:
             key = template_key(n, opts,
                                None if subset is None
@@ -142,7 +161,8 @@ def dc_eigh_many(problems, *,
                  n_workers: Optional[int] = None,
                  machine: Optional[Machine] = None,
                  subset: Optional[np.ndarray] = None,
-                 full_result: bool = False) -> list:
+                 full_result: bool = False,
+                 raise_on_error: bool = False) -> list:
     """Solve a batch of tridiagonal eigenproblems, reusing the DAG.
 
     ``problems`` is an iterable of ``(d, e)`` pairs.  Graph reuse is
@@ -152,11 +172,25 @@ def dc_eigh_many(problems, *,
     entry point.  Mixed shapes are fine; each distinct shape is analyzed
     once.
 
+    Failures are isolated per problem: a solve that raises a typed
+    :class:`~repro.errors.ReproError` (bad input, unrecoverable
+    convergence failure, task failure) produces a :class:`SolveFailure`
+    record in that problem's slot and the batch continues.  Pass
+    ``raise_on_error=True`` to abort on the first failure instead.
+
     Returns a list of ``(lam, V)`` pairs (or :class:`DCResult` when
-    ``full_result=True``), in input order.
+    ``full_result=True``) and :class:`SolveFailure` records, in input
+    order.
     """
     opts = (options or DCOptions()).with_(reuse_graph=True)
-    return [dc_eigh(d, e, options=opts, backend=backend,
-                    n_workers=n_workers, machine=machine, subset=subset,
-                    full_result=full_result)
-            for d, e in problems]
+    out: list = []
+    for i, (d, e) in enumerate(problems):
+        try:
+            out.append(dc_eigh(d, e, options=opts, backend=backend,
+                               n_workers=n_workers, machine=machine,
+                               subset=subset, full_result=full_result))
+        except ReproError as exc:
+            if raise_on_error:
+                raise
+            out.append(SolveFailure(i, exc))
+    return out

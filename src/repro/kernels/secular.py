@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConvergenceError
+
 __all__ = ["SecularRoots", "solve_secular", "secular_function",
            "delta_matrix", "eigenvalues_from_roots"]
 
@@ -249,6 +251,12 @@ def solve_secular(dlamda: np.ndarray, z: np.ndarray, rho: float,
         recorder.add("secular.sweeps", total_sweeps)
         recorder.add("secular.roots", m)
         recorder.observe_many("secular.iterations", iters)
+    if np.any(active):
+        stuck = js[np.where(active)[0]]
+        raise ConvergenceError(
+            f"secular solve did not converge for root(s) "
+            f"{stuck[:8].tolist()} after {max_iter} sweeps "
+            f"(k={k}, rho={rho:.3e})")
     return SecularRoots(orig.astype(np.intp), tau,
                         eigenvalues_from_roots(dlamda, orig, tau),
                         total_sweeps)

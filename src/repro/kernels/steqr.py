@@ -17,6 +17,8 @@ import math
 
 import numpy as np
 
+from ..errors import ConvergenceError
+
 __all__ = ["steqr", "sterf"]
 
 _EPS = np.finfo(np.float64).eps
@@ -45,7 +47,7 @@ def steqr(d: np.ndarray, e: np.ndarray, *, compute_v: bool = True,
     """
     try:
         return _tql2(d, e, compute_v=compute_v, max_sweeps=max_sweeps)
-    except RuntimeError:
+    except ConvergenceError:
         d = np.asarray(d, dtype=np.float64)
         e = np.asarray(e, dtype=np.float64)
         lam, V = _tql2(d[::-1].copy(), e[::-1].copy(),
@@ -80,8 +82,9 @@ def _tql2(d: np.ndarray, e: np.ndarray, *, compute_v: bool = True,
                 break
             sweeps += 1
             if sweeps > max_sweeps:
-                raise RuntimeError(
-                    f"steqr failed to converge for eigenvalue {l}")
+                raise ConvergenceError(
+                    f"steqr failed to converge for eigenvalue {l} "
+                    f"after {max_sweeps} sweeps (n={n})")
             # Wilkinson shift from the top 2x2 of the active block.
             g = (d[l + 1] - d[l]) / (2.0 * ee[l])
             r = math.hypot(g, 1.0)

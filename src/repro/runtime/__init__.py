@@ -12,12 +12,16 @@ Public surface:
   :class:`~repro.runtime.simulator.SimulatedMachine` — deterministic
   discrete-event execution on a virtual multicore;
 * :class:`~repro.runtime.quark.Quark` — QUARK-style facade;
-* :class:`~repro.runtime.trace.Trace` — schedule recording/analysis.
+* :class:`~repro.runtime.trace.Trace` — schedule recording/analysis;
+* :class:`~repro.runtime.faults.FaultSpec` /
+  :class:`~repro.runtime.faults.FaultInjector` — deterministic fault
+  injection for exercising the failure paths.
 """
 
 from .task import (Access, DataHandle, Task, TaskCost,
                    INPUT, OUTPUT, INOUT, GATHERV)
 from .dag import TaskGraph
+from .faults import FaultInjector, FaultSpec
 from .scheduler import SequentialScheduler, ThreadScheduler
 from .simulator import Machine, SimulatedMachine
 from .quark import Quark
@@ -30,6 +34,7 @@ __all__ = [
     "INPUT", "OUTPUT", "INOUT", "GATHERV",
     "TaskGraph", "SequentialScheduler", "ThreadScheduler",
     "Machine", "SimulatedMachine", "Quark",
+    "FaultSpec", "FaultInjector",
     "Accelerator", "HeteroMachine", "GPU_OFFLOAD_POLICY",
     "ClusterMachine", "Network", "tree_placement",
     "Trace", "TraceEvent", "PAPER_KERNELS",

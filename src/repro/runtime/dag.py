@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from ..errors import GraphError
 from .task import Access, DataHandle, Task, TaskCost
 
 
@@ -147,7 +148,7 @@ class TaskGraph:
                 if indeg[s.uid] == 0:
                     q.append(s)
         if seen != len(self.tasks):
-            raise RuntimeError("task graph has a cycle")
+            raise GraphError("task graph has a cycle")
         nlev = 1 + max(depth.values(), default=0)
         levels: list[list[Task]] = [[] for _ in range(nlev)]
         for t in self.tasks:

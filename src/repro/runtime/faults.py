@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the task-flow runtime.
+
+Fault-handling code is only trustworthy if it can be exercised on
+demand, so the runtime accepts an optional
+``DCOptions(fault_injection=FaultSpec(...))`` describing *which* task
+should fail:
+
+* ``FaultSpec(task_seq=17)`` — the task with submission index 17;
+* ``FaultSpec(kernel="LAED4")`` — every task of one kernel name
+  (optionally only the ``nth`` match);
+* ``FaultSpec(probability=0.01, seed=3)`` — each task fails with the
+  given probability, decided by a counter-based hash of ``(seed,
+  task.seq)`` so the outcome is a pure function of the spec and the DAG
+  — identical across backends, schedules and reruns.
+
+The schedulers consult :class:`FaultInjector` immediately *before*
+running a task; a match raises
+:class:`~repro.errors.InjectedFault`, which the scheduler then wraps
+into a :class:`~repro.errors.TaskFailure` exactly like an organic
+failure — injected and real faults exercise the same path.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InjectedFault, InputError
+
+__all__ = ["FaultSpec", "FaultInjector"]
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mixer (SplitMix64 finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Which task(s) to fail.  All selectors are ANDed when combined."""
+
+    task_seq: Optional[int] = None   # fail the task with this submission index
+    kernel: Optional[str] = None     # fail tasks of this kernel name
+    nth: Optional[int] = None        # with kernel: only the nth match (0-based)
+    probability: float = 0.0         # per-task failure probability
+    seed: int = 0                    # determinizes `probability`
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise InputError("fault probability must be in [0, 1]")
+        if (self.task_seq is None and self.kernel is None
+                and self.probability == 0.0):
+            raise InputError("empty fault spec: set task_seq, kernel "
+                             "or probability")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSpec":
+        """Parse a compact CLI spec.
+
+        ``task:SEQ`` | ``kernel:NAME[:NTH]`` | ``p:PROB[:SEED]``
+        """
+        head, _, rest = spec.partition(":")
+        try:
+            if head == "task":
+                return cls(task_seq=int(rest))
+            if head == "kernel":
+                name, _, nth = rest.partition(":")
+                return cls(kernel=name, nth=int(nth) if nth else None)
+            if head == "p":
+                prob, _, seed = rest.partition(":")
+                return cls(probability=float(prob),
+                           seed=int(seed) if seed else 0)
+        except ValueError as exc:
+            raise InputError(f"bad fault spec {spec!r}: {exc}") from exc
+        raise InputError(f"bad fault spec {spec!r} "
+                         "(use task:SEQ | kernel:NAME[:NTH] | p:PROB[:SEED])")
+
+
+class FaultInjector:
+    """Stateful matcher consulted by the schedulers before each task.
+
+    Thread-safe: the ``nth``-match counter and the injected-fault count
+    are updated under a lock (the probability and ``task_seq`` selectors
+    are pure functions of the task and never take it).
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.injected = 0
+        self._lock = threading.Lock()
+        self._kernel_matches = 0
+
+    def _roll(self, seq: int) -> bool:
+        h = _splitmix64(((self.spec.seed & _MASK) << 32) ^ (seq & _MASK))
+        return (h >> 11) / float(1 << 53) < self.spec.probability
+
+    def maybe_fail(self, task) -> None:
+        """Raise :class:`InjectedFault` if ``task`` matches the spec."""
+        spec = self.spec
+        if spec.task_seq is not None and task.seq != spec.task_seq:
+            return
+        if spec.kernel is not None:
+            if task.name != spec.kernel:
+                return
+            if spec.nth is not None:
+                with self._lock:
+                    mine = self._kernel_matches
+                    self._kernel_matches += 1
+                if mine != spec.nth:
+                    return
+        if spec.task_seq is None and spec.kernel is None:
+            if not self._roll(task.seq):
+                return
+        with self._lock:
+            self.injected += 1
+        raise InjectedFault(
+            f"injected fault in task {task.name!r} (seq {task.seq})")

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Sequence
 
 from .dag import TaskGraph
+from .faults import FaultInjector, FaultSpec
 from .scheduler import SequentialScheduler, ThreadScheduler
 from .simulator import Machine, SimulatedMachine
 from .task import Access, DataHandle, Task, TaskCost
@@ -34,9 +35,11 @@ class Quark:
     def __init__(self, backend: str = "sequential", *,
                  n_workers: Optional[int] = None,
                  machine: Optional[Machine] = None,
-                 recorder=None):
+                 recorder=None, fault_injection: Optional[FaultSpec] = None):
         self.backend = backend
         self.recorder = recorder
+        self.injector = (FaultInjector(fault_injection)
+                         if fault_injection is not None else None)
         self.machine = machine if machine is not None else (
             Machine() if backend == "simulated" else None)
         if n_workers is None:
@@ -58,12 +61,15 @@ class Quark:
     # -- execution ---------------------------------------------------------------
     def _make_scheduler(self):
         if self.backend == "sequential":
-            return SequentialScheduler(recorder=self.recorder)
+            return SequentialScheduler(recorder=self.recorder,
+                                       injector=self.injector)
         if self.backend == "threads":
-            return ThreadScheduler(self.n_workers, recorder=self.recorder)
+            return ThreadScheduler(self.n_workers, recorder=self.recorder,
+                                   injector=self.injector)
         if self.backend == "simulated":
             return SimulatedMachine(self.machine, n_workers=self.n_workers,
-                                    recorder=self.recorder)
+                                    recorder=self.recorder,
+                                    injector=self.injector)
         raise ValueError(f"unknown backend {self.backend!r}")
 
     def barrier(self) -> Trace:

@@ -27,6 +27,7 @@ import threading
 import time
 from typing import Optional
 
+from ..errors import wrap_task_error
 from .dag import TaskGraph
 from .task import Task
 from .trace import Trace, TraceEvent
@@ -52,21 +53,34 @@ class _ReadyQueue:
 class SequentialScheduler:
     """Run the whole graph on the calling thread, in submission order."""
 
-    def __init__(self, recorder=None) -> None:
+    def __init__(self, recorder=None, injector=None) -> None:
         self.trace: Optional[Trace] = None
         self.recorder = recorder
+        self.injector = injector
 
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
         trace = Trace(n_workers=1)
+        inj = self.injector
+        rec = self.recorder
         t0 = time.perf_counter()
-        for task in graph.tasks:
+        for i, task in enumerate(graph.tasks):
             a = time.perf_counter() - t0
-            task.run()
+            try:
+                if inj is not None:
+                    inj.maybe_fail(task)
+                task.run()
+            except Exception as exc:
+                # First failure cancels the run: the remaining tasks are
+                # dropped and the exception propagates with task context.
+                if rec is not None and rec.enabled:
+                    rec.add("scheduler.failures")
+                    rec.add("scheduler.cancelled_tasks",
+                            len(graph.tasks) - i - 1)
+                raise wrap_task_error(task, exc) from exc
             task.mark_done()
             b = time.perf_counter() - t0
             trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag))
-        rec = self.recorder
         if rec is not None and rec.enabled:
             rec.add("scheduler.tasks", len(graph.tasks))
         self.trace = trace
@@ -119,12 +133,13 @@ class ThreadScheduler:
     """
 
     def __init__(self, n_workers: int = 4, n_stripes: int = 64,
-                 recorder=None):
+                 recorder=None, injector=None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.n_stripes = max(1, n_stripes)
         self.recorder = recorder
+        self.injector = injector
         self.trace: Optional[Trace] = None
 
     def run(self, graph: TaskGraph) -> Trace:
@@ -141,6 +156,7 @@ class ThreadScheduler:
         wevents: list[list[TraceEvent]] = [[] for _ in range(nw)]
         widle: list[list[tuple[float, float]]] = [[] for _ in range(nw)]
         rec = self.recorder
+        inj = self.injector
         # Telemetry is strictly off-hot-path: when disabled nothing below
         # allocates or times; when enabled, counters accumulate in plain
         # per-worker slots and merge into the recorder once after join.
@@ -203,8 +219,22 @@ class ThreadScheduler:
 
                 a = time.perf_counter() - t0
                 try:
+                    if inj is not None:
+                        inj.maybe_fail(task)
                     task.run()
-                except BaseException as exc:   # propagate to caller
+                except Exception as exc:
+                    # First failure marks the run failed: peers drain
+                    # their queues as no-ops and park/join within the
+                    # condvar timeout bound; the exception propagates
+                    # to the caller wrapped with its task context.
+                    failure = wrap_task_error(task, exc, worker=wid)
+                    if failure is not exc:
+                        failure.__cause__ = exc
+                    with idle_cv:
+                        errors.append(failure)
+                        idle_cv.notify_all()
+                    return
+                except BaseException as exc:   # KeyboardInterrupt & co.
                     with idle_cv:
                         errors.append(exc)
                         idle_cv.notify_all()
@@ -246,6 +276,14 @@ class ThreadScheduler:
         for th in threads:
             th.join()
         if errors:
+            # All workers are joined; the queued-but-never-run tasks were
+            # drained as no-ops.  Surface the first failure, typed.
+            if observe:
+                rec.add("scheduler.failures", len(errors))
+                rec.add("scheduler.cancelled_tasks",
+                        state["remaining"] - len(errors))
+                self._merge_stats(rec, wstats,
+                                  len(tasks) - state["remaining"])
             raise errors[0]
         for events in wevents:
             for ev in events:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..errors import SchedulerError, wrap_task_error
 from .dag import TaskGraph
 from .scheduler import _ReadyQueue
 from .task import Task, TaskCost
@@ -126,8 +127,9 @@ class SimulatedMachine:
 
     def __init__(self, machine: Machine | None = None,
                  n_workers: Optional[int] = None,
-                 execute: bool = True, recorder=None):
+                 execute: bool = True, recorder=None, injector=None):
         self.recorder = recorder
+        self.injector = injector
         base = machine or Machine()
         if n_workers is not None and n_workers != base.n_cores:
             # Re-derive a machine with the requested core count on the
@@ -195,7 +197,18 @@ class SimulatedMachine:
                     reverse=True)
                 worker = free_workers.pop()
                 if self.execute:
-                    task.run()
+                    try:
+                        if self.injector is not None:
+                            self.injector.maybe_fail(task)
+                        task.run()
+                    except Exception as exc:
+                        # First failure cancels the simulation; the not-
+                        # yet-started tasks are dropped.
+                        if observe:
+                            rec.add("scheduler.failures")
+                            rec.add("scheduler.cancelled_tasks",
+                                    total - n_done - 1)
+                        raise wrap_task_error(task, exc) from exc
                 task.mark_done()  # functional effect done; timing continues
                 cost = task.resolved_cost()
                 kind, work, over = m.work_of(cost, task.name)
@@ -207,7 +220,7 @@ class SimulatedMachine:
 
             if not running:
                 if n_done < total:
-                    raise RuntimeError(
+                    raise SchedulerError(
                         "deadlock: no running tasks but graph incomplete")
                 break
 

@@ -93,8 +93,14 @@ def test_subset_out_of_range():
         dc_eigh(d, e, subset=[250])
     with pytest.raises(ValueError):
         dc_eigh(d, e, subset=[-1])
-    with pytest.raises(ValueError):
-        dc_eigh(d, e, subset=[])
+
+
+def test_subset_empty():
+    # Empty subset is legal: all eigenvalues, no eigenvectors.
+    d, e = _setup()
+    lam, V = dc_eigh(d, e, subset=[])
+    assert lam.shape == (0,)
+    assert V.shape == (d.shape[0], 0)
 
 
 @settings(max_examples=10, deadline=None)

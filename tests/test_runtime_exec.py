@@ -88,14 +88,19 @@ def test_thread_scheduler_respects_dependencies_under_contention():
 
 
 def test_thread_scheduler_propagates_exceptions():
+    from repro.errors import TaskFailure
+
     g = TaskGraph()
 
     def boom():
         raise ValueError("kernel failed")
 
-    g.insert_task(boom, [(DataHandle(), OUTPUT)])
-    with pytest.raises(ValueError, match="kernel failed"):
+    g.insert_task(boom, [(DataHandle(), OUTPUT)], name="boom")
+    with pytest.raises(TaskFailure, match="kernel failed") as ei:
         ThreadScheduler(2).run(g)
+    # Task context plus the original exception chained as the cause.
+    assert ei.value.task_name == "boom"
+    assert isinstance(ei.value.__cause__, ValueError)
 
 
 # ---------------------------------------------------------------------------
