@@ -1,0 +1,227 @@
+"""Batch throughput benchmark: SolverSession vs the one-shot solve loop.
+
+Three sections, all written to ``BENCH_batch.json``:
+
+``throughput``
+    Wall-clock solves/sec for a batch of same-shape type-4 matrices on
+    the threads backend: the historical serial loop
+    (``dc_eigh_many(use_session=False)`` — one scheduler spin-up, one
+    workspace allocation and one thread join per problem) against a
+    :class:`~repro.core.session.SolverSession` (persistent worker pool,
+    pooled workspaces, concurrent submissions fused into one super-DAG).
+``fused``
+    The deterministic overlap demonstration on the paper's 16-core
+    virtual machine: simulated makespans of k independent solves run
+    back-to-back versus the same k task graphs fused with
+    :meth:`TaskGraph.fuse` and simulated as one super-DAG.  Panel tasks
+    of one problem fill the virtual cores idled by another problem's
+    serial merge spine, so the fused makespan is strictly smaller than
+    the sum — independent of how many physical cores the benchmark host
+    has.
+``latency``
+    Per-solve latency percentiles (p50/p90/p99) of the session's
+    concurrent submissions, from the ``SolveHandle`` timestamps.
+
+``--smoke`` (the CI gate) re-runs a small fixed configuration and fails
+when
+
+* the fused simulated super-DAG shows no overlap win
+  (``overlap_speedup < 1.05``),
+* session wall-clock throughput falls below the loop's beyond timer
+  noise (``session < (1 - tol) * loop``; ``tol`` defaults to 0.15 for
+  1-2 core CI runners — on real multicore the ratio exceeds 1, which is
+  what the committed baseline records), or
+* session throughput regresses more than 2x against the committed
+  ``BENCH_batch.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py           # full
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import (PAPER_MACHINE, load_bench_json, matrix,
+                    write_bench_json)  # noqa: E402
+
+from repro.core import DCOptions, SolverSession, dc_eigh_many  # noqa: E402
+from repro.core.graph_cache import (graph_template_cache,
+                                    template_key)  # noqa: E402
+from repro.core.merge import DCContext  # noqa: E402
+from repro.runtime import (SequentialScheduler, SimulatedMachine,
+                           TaskGraph)  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "BENCH_batch.json")
+
+SMOKE_N = 256
+SMOKE_BATCH = 12
+SMOKE_WORKERS = 4
+MTYPE = 4
+
+
+def _problems(n: int, count: int) -> list:
+    return [matrix(MTYPE, n, seed=s) for s in range(count)]
+
+
+def _batch_per_s(problems, *, use_session: bool, n_workers: int,
+                 repeats: int = 3) -> float:
+    """Best-of-``repeats`` batch throughput in solves/sec."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = dc_eigh_many(problems, backend="threads",
+                           n_workers=n_workers, use_session=use_session)
+        best = min(best, time.perf_counter() - t0)
+        assert all(isinstance(r, tuple) for r in out)
+    return len(problems) / best
+
+
+def bench_throughput(n: int, batch: int, n_workers: int,
+                     repeats: int = 3) -> dict:
+    problems = _problems(n, batch)
+    loop = _batch_per_s(problems, use_session=False, n_workers=n_workers,
+                        repeats=repeats)
+    sess = _batch_per_s(problems, use_session=True, n_workers=n_workers,
+                        repeats=repeats)
+    out = {"n": n, "batch": batch, "n_workers": n_workers,
+           "loop_per_s": loop, "session_per_s": sess,
+           "session_over_loop": sess / loop}
+    print(f"[throughput] n={n} batch={batch} workers={n_workers}: "
+          f"loop {loop:.2f}/s  session {sess:.2f}/s  "
+          f"ratio {sess / loop:.3f}")
+    return out
+
+
+def bench_fused(n: int, k: int = 4) -> dict:
+    """Simulated super-DAG overlap: k independent solves vs one fusion.
+
+    Each graph is executed once sequentially so deflation-dependent task
+    costs are known, then replayed on the 16-core virtual machine with
+    ``execute=False`` — individually (back-to-back) and fused.
+    """
+    opts = DCOptions(reuse_graph=True)
+    graphs = []
+    individual = 0.0
+    for s in range(k):
+        d, e = matrix(MTYPE, n, seed=s)
+        ctx = DCContext(d, e, opts)
+        graph, _ = graph_template_cache.get_or_build(
+            ctx, template_key(n, opts))
+        SequentialScheduler().run(graph)
+        individual += SimulatedMachine(PAPER_MACHINE, n_workers=16,
+                                       execute=False).run(graph).makespan
+        graphs.append(graph)
+    fused_graph = TaskGraph.fuse(graphs)
+    fused = SimulatedMachine(PAPER_MACHINE, n_workers=16,
+                             execute=False).run(fused_graph).makespan
+    out = {"n": n, "k": k, "individual_makespan_s": individual,
+           "fused_makespan_s": fused,
+           "overlap_speedup": individual / fused}
+    print(f"[fused] n={n} k={k}: back-to-back {individual:.4f}s "
+          f"fused {fused:.4f}s  overlap x{individual / fused:.2f}")
+    return out
+
+
+def bench_latency(n: int, batch: int, n_workers: int) -> dict:
+    problems = _problems(n, batch)
+    with SolverSession(backend="threads", n_workers=n_workers) as session:
+        handles = [session.submit(d, e) for d, e in problems]
+        for h in handles:
+            h.result()
+        lats = sorted(h.latency_s for h in handles)
+        stats = session.stats()
+
+    def pct(q: float) -> float:
+        return lats[min(len(lats) - 1, int(round(q * (len(lats) - 1))))]
+
+    out = {"n": n, "batch": batch, "n_workers": n_workers,
+           "p50_s": pct(0.50), "p90_s": pct(0.90), "p99_s": pct(0.99),
+           "mean_s": sum(lats) / len(lats),
+           "workspace": stats.get("workspace"),
+           "graph_cache": stats["graph_cache"]}
+    print(f"[latency] n={n} batch={batch}: p50 {out['p50_s'] * 1e3:.1f}ms "
+          f"p90 {out['p90_s'] * 1e3:.1f}ms p99 {out['p99_s'] * 1e3:.1f}ms")
+    return out
+
+
+def bench_smoke() -> dict:
+    print(f"[smoke] n={SMOKE_N} batch={SMOKE_BATCH} "
+          f"workers={SMOKE_WORKERS}")
+    return {
+        "throughput": bench_throughput(SMOKE_N, SMOKE_BATCH, SMOKE_WORKERS),
+        "fused": bench_fused(SMOKE_N, k=4),
+    }
+
+
+def check_gate(smoke: dict) -> list[str]:
+    """The CI assertions; returns failure messages (empty = pass)."""
+    failures: list[str] = []
+    tol = float(os.environ.get("REPRO_BATCH_TOL", "0.15"))
+    th = smoke["throughput"]
+    if th["session_per_s"] < (1.0 - tol) * th["loop_per_s"]:
+        failures.append(
+            f"session throughput {th['session_per_s']:.2f}/s below loop "
+            f"{th['loop_per_s']:.2f}/s beyond {tol:.0%} noise tolerance")
+    fused = smoke["fused"]
+    if fused["overlap_speedup"] < 1.05:
+        failures.append(
+            f"fused super-DAG shows no overlap win: "
+            f"x{fused['overlap_speedup']:.3f} < x1.05")
+    if os.path.exists(BASELINE):
+        base = load_bench_json(BASELINE).get("smoke", {})
+        base_th = base.get("throughput", {})
+        if base_th.get("session_per_s"):
+            if th["session_per_s"] * 2 < base_th["session_per_s"]:
+                failures.append(
+                    f"session throughput regressed >2x vs baseline "
+                    f"({th['session_per_s']:.2f}/s vs "
+                    f"{base_th['session_per_s']:.2f}/s)")
+    else:
+        print(f"[smoke] no baseline at {BASELINE}; skipping comparison")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI gate: small fixed configuration, "
+                         "non-zero exit on failed assertions")
+    ap.add_argument("--out", default=REPO_ROOT,
+                    help="directory for BENCH_batch.json (full runs)")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        smoke = bench_smoke()
+        failures = check_gate(smoke)
+        if failures:
+            for f in failures:
+                print(f"SMOKE FAILURE: {f}", file=sys.stderr)
+            return 1
+        print("\nsmoke OK (session >= loop within tolerance, "
+              "fused super-DAG overlaps)")
+        return 0
+
+    payload = {
+        "throughput": [
+            bench_throughput(300, 16, 4),
+            bench_throughput(600, 16, 4),
+        ],
+        "fused": [bench_fused(300, k=4), bench_fused(600, k=4)],
+        "latency": bench_latency(300, 16, 4),
+        "smoke": bench_smoke(),
+    }
+    write_bench_json("BENCH_batch", payload, directory=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

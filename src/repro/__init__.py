@@ -9,6 +9,9 @@ Top-level API
     The paper's contribution: task-flow D&C tridiagonal eigensolver.
 ``dc_eigh_many(problems)``
     Batch entry point: same-shape solves reuse the cached DAG template.
+``SolverSession()``
+    Long-lived solver service: persistent worker pool, concurrent
+    ``submit`` with fused super-DAG execution, pooled workspaces.
 ``mrrr_eigh(d, e)``
     MR3-SMP-style MRRR comparator.
 ``eigh(A)``
@@ -27,7 +30,8 @@ Subpackages: ``runtime`` (QUARK-like task runtime), ``kernels``
 
 __version__ = "1.0.0"
 
-__all__ = ["dc_eigh", "dc_eigh_many", "mrrr_eigh", "eigh", "svd",
+__all__ = ["dc_eigh", "dc_eigh_many", "SolverSession", "mrrr_eigh",
+           "eigh", "svd",
            "ReproError", "InputError", "ConvergenceError", "TaskFailure",
            "SolveFailure", "__version__"]
 
@@ -44,6 +48,9 @@ def __getattr__(name):
     if name == "SolveFailure":
         from .core.solver import SolveFailure
         return SolveFailure
+    if name == "SolverSession":
+        from .core.session import SolverSession
+        return SolverSession
     if name in ("ReproError", "InputError", "ConvergenceError",
                 "TaskFailure", "InjectedFault", "GraphError",
                 "SchedulerError"):

@@ -46,7 +46,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(dc and mrrr solvers)")
     s.add_argument("--repeat", type=int, default=1,
                    help="solve the problem N times (throughput mode; "
-                        "reports per-solve latency)")
+                        "reports per-solve latency percentiles)")
+    s.add_argument("--no-session", action="store_true",
+                   help="with --repeat: serial one-shot loop instead of "
+                        "the persistent SolverSession (dc solver only)")
     s.add_argument("--reuse-graph", action="store_true",
                    help="reuse the matrix-independent DAG template "
                         "across same-shape solves (dc solver only)")
@@ -90,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sample."""
+    i = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[i]
+
+
+def _latency_line(latencies: list[float]) -> str:
+    s = sorted(latencies)
+    mean = sum(s) / len(s)
+    return (f"p50={_percentile(s, 0.50) * 1e3:.2f}ms  "
+            f"p90={_percentile(s, 0.90) * 1e3:.2f}ms  "
+            f"p99={_percentile(s, 0.99) * 1e3:.2f}ms  "
+            f"(mean {mean * 1e3:.2f}ms)")
+
+
 def _cmd_solve(args) -> int:
     from .analysis import orthogonality_error, tridiagonal_residual
     from .matrices import matrix_description, test_matrix
@@ -101,9 +119,11 @@ def _cmd_solve(args) -> int:
         lo, _, hi = args.subset.partition(":")
         subset = np.arange(int(lo), int(hi) if hi else int(lo) + 1)
     repeat = max(1, getattr(args, "repeat", 1))
+    use_session = repeat > 1 and not getattr(args, "no_session", False)
+    latencies: list[float] = []
     t0 = time.perf_counter()
     if args.solver == "dc":
-        from . import dc_eigh
+        from . import SolverSession, dc_eigh
         from .core import DCOptions
         from .errors import ReproError
         from .runtime.faults import FaultSpec
@@ -113,9 +133,25 @@ def _cmd_solve(args) -> int:
                          fault_injection=(FaultSpec.parse(inject)
                                           if inject else None))
         try:
-            for _ in range(repeat):
-                lam, V = dc_eigh(d, e, options=opts, backend=args.backend,
-                                 n_workers=args.workers, subset=subset)
+            if use_session:
+                # Repeated solves share one session: persistent workers,
+                # pooled workspaces, concurrent fused execution on the
+                # threads backend.
+                with SolverSession(backend=args.backend,
+                                   n_workers=args.workers,
+                                   options=opts) as session:
+                    handles = [session.submit(d, e, subset=subset)
+                               for _ in range(repeat)]
+                    for h in handles:
+                        lam, V = h.result()
+                    latencies = [h.latency_s for h in handles]
+            else:
+                for _ in range(repeat):
+                    ts = time.perf_counter()
+                    lam, V = dc_eigh(d, e, options=opts,
+                                     backend=args.backend,
+                                     n_workers=args.workers, subset=subset)
+                    latencies.append(time.perf_counter() - ts)
         except ReproError as exc:
             print(f"error   : {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
@@ -132,11 +168,16 @@ def _cmd_solve(args) -> int:
     else:
         from .baselines import bisect_invit_eigh
         lam, V = bisect_invit_eigh(d, e)
-    dt = (time.perf_counter() - t0) / repeat
+    wall = time.perf_counter() - t0
+    dt = wall / repeat
     print(f"solver  : {args.solver}")
     if repeat > 1:
-        print(f"repeat  : {repeat} solves "
-              f"(graph reuse {'on' if args.reuse_graph else 'off'})")
+        mode = "session" if (use_session and args.solver == "dc") \
+            else "one-shot loop"
+        print(f"repeat  : {repeat} solves via {mode} "
+              f"({wall:.3f} s wall, {repeat / wall:.1f} solves/s)")
+        if latencies:
+            print(f"latency : {_latency_line(latencies)}")
     print(f"time    : {dt:.3f} s")
     print(f"lambda  : [{lam[0]:.6g} .. {lam[-1]:.6g}]")
     print(f"orth    : {orthogonality_error(V):.2e}")

@@ -6,7 +6,8 @@ from .merge import DCContext, MergeState, panel_ranges
 from .tasks import submit_dc, DCGraphInfo
 from .graph_cache import (GraphTemplate, GraphTemplateCache,
                           graph_template_cache, template_key)
-from .solver import dc_eigh, dc_eigh_many, DCResult
+from .session import SolveHandle, SolverSession, WorkspacePool
+from .solver import dc_eigh, dc_eigh_many, DCResult, SolveFailure
 from .dense import eigh
 from .svd import svd, svd_bidiagonal, tgk_tridiagonal
 from .reduction import taskflow_tridiagonalize
@@ -15,6 +16,7 @@ __all__ = [
     "DCOptions", "FIG3_CONFIGS", "Node", "build_tree",
     "DCContext", "MergeState", "panel_ranges",
     "submit_dc", "DCGraphInfo", "dc_eigh", "dc_eigh_many", "DCResult",
+    "SolveFailure", "SolverSession", "SolveHandle", "WorkspacePool",
     "GraphTemplate", "GraphTemplateCache", "graph_template_cache",
     "template_key", "eigh",
     "svd", "svd_bidiagonal", "tgk_tridiagonal", "taskflow_tridiagonalize",

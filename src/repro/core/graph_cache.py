@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Optional
 
 from ..runtime.dag import TaskGraph
@@ -206,14 +207,22 @@ def _noop() -> None:
 
 
 class GraphTemplateCache:
-    """Thread-safe registry of :class:`GraphTemplate` objects by shape."""
+    """Thread-safe LRU registry of :class:`GraphTemplate` objects by shape.
+
+    Long-running sessions solve streams of mixed shapes; LRU eviction
+    (every hit refreshes its entry) keeps the hot templates resident
+    where the earlier FIFO policy would age them out by insertion time.
+    ``hits``/``misses``/``evictions`` are cache-lifetime totals, also
+    exported per solve through the obs ``telemetry_block``.
+    """
 
     def __init__(self, maxsize: int = 32):
         self.maxsize = maxsize
         self._lock = threading.Lock()
-        self._templates: dict[tuple, GraphTemplate] = {}
+        self._templates: OrderedDict[tuple, GraphTemplate] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: tuple) -> Optional[GraphTemplate]:
         with self._lock:
@@ -222,17 +231,30 @@ class GraphTemplateCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._templates.move_to_end(key)
             return tpl
 
-    def put(self, template: GraphTemplate) -> None:
+    def put(self, template: GraphTemplate, recorder=None) -> None:
         with self._lock:
-            if (len(self._templates) >= self.maxsize
-                    and template.key not in self._templates):
-                # Drop the oldest entry (insertion order): same-shape
-                # service traffic reuses a handful of keys, so simple
-                # FIFO eviction is enough.
-                self._templates.pop(next(iter(self._templates)))
+            if template.key in self._templates:
+                self._templates.move_to_end(template.key)
+            elif len(self._templates) >= self.maxsize:
+                # Evict the least-recently-used entry (head of the
+                # OrderedDict: get() refreshes recency on every hit).
+                self._templates.popitem(last=False)
+                self.evictions += 1
+                if recorder is not None and recorder.enabled:
+                    recorder.add("graph_cache.evictions")
             self._templates[template.key] = template
+
+    def stats(self) -> dict:
+        """Lifetime counter snapshot (hit rate, eviction count, size)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._templates),
+                    "hit_rate": self.hits / lookups if lookups else None}
 
     def get_or_build(self, ctx: DCContext,
                      key: tuple) -> tuple[TaskGraph, DCGraphInfo]:
@@ -260,7 +282,7 @@ class GraphTemplateCache:
         graph = TaskGraph()
         tree = build_tree(ctx.n, ctx.opts.minpart)
         info = submit_dc(graph, ctx, tree)
-        self.put(build_template(graph, info, key))
+        self.put(build_template(graph, info, key), recorder=obs)
         if obs.enabled:
             obs.observe("graph_cache.build_s", time.perf_counter() - t0)
         return graph, info
@@ -270,6 +292,7 @@ class GraphTemplateCache:
             self._templates.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -67,7 +67,7 @@ class DCContext:
     """Shared state of one D&C solve."""
 
     def __init__(self, d: np.ndarray, e: np.ndarray, opts: DCOptions,
-                 subset: np.ndarray | None = None):
+                 subset: np.ndarray | None = None, workspace=None):
         d = np.asarray(d, dtype=np.float64)
         e = np.asarray(e, dtype=np.float64)
         n = d.shape[0]
@@ -104,9 +104,20 @@ class DCContext:
         self.scale_info: Optional[ScaleInfo] = None
         self.d_adj: Optional[np.ndarray] = None
         # Global solve storage (column-major so column ops are contiguous).
+        # With a WorkspacePool the two n^2 buffers are recycled from
+        # earlier same-shape solves instead of freshly allocated; every
+        # read of V/Vws is preceded by a task that writes it (LASET
+        # zeroes all of V, PermuteV/SortEigenvectors write every Vws
+        # location later read), so recycled contents never leak into
+        # results — numerics are bitwise identical either way.
+        self.workspace = workspace
         self.D = np.zeros(n)
-        self.V = np.zeros((n, n), order="F")
-        self.Vws = np.zeros((n, n), order="F")
+        if workspace is not None:
+            self.V = workspace.take((n, n))
+            self.Vws = workspace.take((n, n))
+        else:
+            self.V = np.zeros((n, n), order="F")
+            self.Vws = np.zeros((n, n), order="F")
         # Final ordering (SortEigenvectors / ScaleBack).
         self.order: Optional[np.ndarray] = None
         self.D_sorted: Optional[np.ndarray] = None
@@ -169,6 +180,32 @@ class DCContext:
         if self.subset is not None:
             return self.D_sorted, self.Vws[:, :self.subset.shape[0]]
         return self.D_sorted, self.Vws
+
+    def release_workspace(self, states=(), keep_result: bool = True) -> None:
+        """Return pooled buffers to the arena once the solve is over.
+
+        ``V`` and every merge's secular block ``X`` go back to the pool
+        for the next same-shape solve.  ``Vws`` holds the sorted
+        eigenvectors — the solve's *result* — so on success its
+        ownership transfers out of the pool to the caller
+        (``keep_result=True``); a failed solve has no result and
+        recycles it too.  Idempotent; a no-op without a pool.
+        """
+        ws = self.workspace
+        if ws is None:
+            return
+        self.workspace = None
+        for st in states:
+            if st.X is not None and st.X.size:
+                ws.release(st.X)
+            st.X = None
+        ws.release(self.V)
+        self.V = None
+        if keep_result:
+            ws.forget(self.Vws)
+        else:
+            ws.release(self.Vws)
+            self.Vws = None
 
 
 class MergeState:
@@ -299,7 +336,15 @@ class MergeState:
         self.orig = np.zeros(k, dtype=np.intp)
         self.tau = np.zeros(k)
         self.lam = np.zeros(k)
-        self.X = np.zeros((k, k), order="F") if k else np.zeros((0, 0))
+        # Secular eigenvector block: pooled when the solve has a
+        # workspace arena (every column of X is written by a ComputeVect
+        # panel before UpdateVect reads it, so recycling is exact).
+        ws = ctx.workspace
+        if k:
+            self.X = np.zeros((k, k), order="F") if ws is None \
+                else ws.take((k, k))
+        else:
+            self.X = np.zeros((0, 0))
         self.stats.n = self.n
         self.stats.k = k
         self.stats.n_rotations = len(self.defl.rotations)

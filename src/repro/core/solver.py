@@ -20,17 +20,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ReproError, validate_subset, validate_tridiagonal
-from ..obs.recorder import NULL_RECORDER
+from ..errors import ReproError
 from ..runtime.dag import TaskGraph
-from ..runtime.quark import Quark
 from ..runtime.simulator import Machine
 from ..runtime.trace import Trace
-from .graph_cache import graph_template_cache, template_key
-from .merge import DCContext
 from .options import DCOptions
-from .tasks import DCGraphInfo, submit_dc
-from .tree import build_tree
+from .session import SolverSession
+from .tasks import DCGraphInfo
 
 __all__ = ["dc_eigh", "dc_eigh_many", "DCResult", "SolveFailure",
            "DCOptions"]
@@ -108,51 +104,17 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
     -------
     ``(lam, V)`` with ascending eigenvalues and orthonormal eigenvector
     columns, or a :class:`DCResult`.
+
+    Implemented as a one-shot :class:`~repro.core.session.SolverSession`
+    (no persistent pool, no workspace arena), so single-solve numerics
+    and telemetry are byte-for-byte what they always were; long-running
+    callers should hold a session instead and amortize worker spin-up
+    and workspace allocation across solves.
     """
-    opts = options or DCOptions()
-    obs = opts.telemetry if opts.telemetry is not None else NULL_RECORDER
-    d, e = validate_tridiagonal(d, e)
-    n = d.shape[0]
-    subset = validate_subset(subset, n)
-
-    if n == 1:
-        # The fast path honours `subset` like the general path: V has
-        # one column per wanted index (possibly zero).
-        lam = d.copy() if subset is None else d[subset]
-        V = np.ones((1, 1 if subset is None else subset.shape[0]))
-        if not full_result:
-            return lam, V
-        q = Quark("sequential")
-        return DCResult(lam, V, q.barrier(), TaskGraph(),
-                        DCGraphInfo(DCContext(d, e, opts), build_tree(1, 1)))
-
-    with obs.span("solve", n=n, backend=backend):
-        ctx = DCContext(d, e, opts, subset=subset)
-        quark = Quark(backend, n_workers=n_workers, machine=machine,
-                      recorder=opts.telemetry,
-                      fault_injection=opts.fault_injection)
-        if opts.reuse_graph:
-            key = template_key(n, opts,
-                               None if subset is None
-                               else ctx.subset.shape[0])
-            with obs.span("graph.instantiate", key=key):
-                graph, info = graph_template_cache.get_or_build(ctx, key)
-            quark.graph = graph
-        else:
-            with obs.span("graph.build"):
-                tree = build_tree(n, opts.minpart)
-                info = submit_dc(quark.graph, ctx, tree)
-                graph = quark.graph
-        if obs.enabled:
-            obs.add("solve.count")
-            obs.add("solve.tasks_submitted", len(graph.tasks))
-        with obs.span("execute"):
-            trace = quark.barrier()
-        with obs.span("finalize"):
-            lam, V = ctx.result()
-    if full_result:
-        return DCResult(lam, V, trace, graph, info)
-    return lam, V
+    session = SolverSession(backend=backend, n_workers=n_workers,
+                            machine=machine, options=options,
+                            workspace_pool=False, _one_shot=True)
+    return session.solve(d, e, subset=subset, full_result=full_result)
 
 
 def dc_eigh_many(problems, *,
@@ -162,7 +124,8 @@ def dc_eigh_many(problems, *,
                  machine: Optional[Machine] = None,
                  subset: Optional[np.ndarray] = None,
                  full_result: bool = False,
-                 raise_on_error: bool = False) -> list:
+                 raise_on_error: bool = False,
+                 use_session: bool = True) -> list:
     """Solve a batch of tridiagonal eigenproblems, reusing the DAG.
 
     ``problems`` is an iterable of ``(d, e)`` pairs.  Graph reuse is
@@ -172,10 +135,19 @@ def dc_eigh_many(problems, *,
     entry point.  Mixed shapes are fine; each distinct shape is analyzed
     once.
 
+    With ``use_session=True`` (the default) the batch runs inside a
+    :class:`~repro.core.session.SolverSession`: workspaces are pooled
+    across solves and, on the threads backend, all submissions execute
+    concurrently on one persistent worker pool as a fused super-DAG —
+    panel tasks of one problem fill the workers idled by another's
+    serial merge spine.  ``use_session=False`` keeps the historical
+    serial one-shot loop (one scheduler spin-up per problem).
+
     Failures are isolated per problem: a solve that raises a typed
     :class:`~repro.errors.ReproError` (bad input, unrecoverable
     convergence failure, task failure) produces a :class:`SolveFailure`
-    record in that problem's slot and the batch continues.  Pass
+    record in that problem's slot and the batch continues — on the
+    fused pool only the failing sub-graph is cancelled.  Pass
     ``raise_on_error=True`` to abort on the first failure instead.
 
     Returns a list of ``(lam, V)`` pairs (or :class:`DCResult` when
@@ -183,6 +155,12 @@ def dc_eigh_many(problems, *,
     order.
     """
     opts = (options or DCOptions()).with_(reuse_graph=True)
+    if use_session:
+        with SolverSession(backend=backend, n_workers=n_workers,
+                           machine=machine, options=opts) as session:
+            return session.map(problems, subset=subset,
+                               full_result=full_result,
+                               raise_on_error=raise_on_error)
     out: list = []
     for i, (d, e) in enumerate(problems):
         try:

@@ -233,6 +233,14 @@ def telemetry_block(collector: Optional[Collector],
     block["cache_hits"] = c.get("graph_cache.hits", 0.0)
     block["cache_misses"] = c.get("graph_cache.misses", 0.0)
     block["cache_hit_rate"] = _rate(block["cache_hits"], lookups)
+    block["cache_evictions"] = c.get("graph_cache.evictions", 0.0)
+    ws_lookups = (c.get("workspace_pool.hits", 0.0)
+                  + c.get("workspace_pool.misses", 0.0))
+    if ws_lookups:
+        block["workspace_pool_hits"] = c.get("workspace_pool.hits", 0.0)
+        block["workspace_pool_misses"] = c.get("workspace_pool.misses", 0.0)
+        block["workspace_pool_hit_rate"] = _rate(
+            block["workspace_pool_hits"], ws_lookups)
     for hist in ("merge.deflation_ratio", "secular.iterations"):
         st = collector.hist_stats(hist)
         if st is not None:
@@ -279,6 +287,16 @@ def telemetry_summary(collector: Optional[Collector],
         rows.append("graph cache:")
         rows.append(f"  hits/misses      : {c.get('graph_cache.hits', 0):.0f}"
                     f"/{c.get('graph_cache.misses', 0):.0f}")
+        ev = c.get("graph_cache.evictions", 0.0)
+        if ev:
+            rows.append(f"  evictions        : {ev:.0f}")
+    ws_lookups = (c.get("workspace_pool.hits", 0.0)
+                  + c.get("workspace_pool.misses", 0.0))
+    if ws_lookups:
+        rows.append("workspace pool:")
+        rows.append(
+            f"  hits/misses      : {c.get('workspace_pool.hits', 0):.0f}"
+            f"/{c.get('workspace_pool.misses', 0):.0f}")
     rows.append("numeric health:")
     rows.append("  deflation ratio  : "
                 + _fmt_stats(collector.hist_stats("merge.deflation_ratio")))

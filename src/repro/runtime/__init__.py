@@ -22,7 +22,8 @@ from .task import (Access, DataHandle, Task, TaskCost,
                    INPUT, OUTPUT, INOUT, GATHERV)
 from .dag import TaskGraph
 from .faults import FaultInjector, FaultSpec
-from .scheduler import SequentialScheduler, ThreadScheduler
+from .scheduler import (PoolRun, SequentialScheduler, ThreadScheduler,
+                        WorkerPool, default_thread_workers)
 from .simulator import Machine, SimulatedMachine
 from .quark import Quark
 from .hetero import Accelerator, HeteroMachine, GPU_OFFLOAD_POLICY
@@ -33,6 +34,7 @@ __all__ = [
     "Access", "DataHandle", "Task", "TaskCost",
     "INPUT", "OUTPUT", "INOUT", "GATHERV",
     "TaskGraph", "SequentialScheduler", "ThreadScheduler",
+    "WorkerPool", "PoolRun", "default_thread_workers",
     "Machine", "SimulatedMachine", "Quark",
     "FaultSpec", "FaultInjector",
     "Accelerator", "HeteroMachine", "GPU_OFFLOAD_POLICY",

@@ -108,6 +108,26 @@ class TaskGraph:
         return task
 
     # ------------------------------------------------------------------
+    @classmethod
+    def fuse(cls, graphs: Iterable["TaskGraph"]) -> "TaskGraph":
+        """Concatenate independent graphs into one super-DAG.
+
+        Tasks keep their identity, edges and dependency counts; ``seq``
+        is reassigned to the fused submission order (sub-graph order,
+        then intra-graph order), so any scheduler runs the fusion like a
+        single graph and tasks from different sub-graphs interleave
+        freely — the batch analogue of the paper's "independent merges
+        overlap" property.  The fused graph takes ownership: the input
+        graphs must not be executed separately afterwards.
+        """
+        fused = cls()
+        for sub in graphs:
+            for t in sub.tasks:
+                t.seq = len(fused.tasks)
+                fused.tasks.append(t)
+            fused._edges += sub.n_edges
+        return fused
+
     @property
     def n_tasks(self) -> int:
         return len(self.tasks)

@@ -23,7 +23,8 @@ from typing import Any, Callable, Optional, Sequence
 
 from .dag import TaskGraph
 from .faults import FaultInjector, FaultSpec
-from .scheduler import SequentialScheduler, ThreadScheduler
+from .scheduler import (SequentialScheduler, ThreadScheduler,
+                        default_thread_workers)
 from .simulator import Machine, SimulatedMachine
 from .task import Access, DataHandle, Task, TaskCost
 from .trace import Trace
@@ -43,8 +44,10 @@ class Quark:
         self.machine = machine if machine is not None else (
             Machine() if backend == "simulated" else None)
         if n_workers is None:
+            # threads: one worker per core (clamped), like the paper's
+            # 1-16 thread study — not a hardcoded constant.
             n_workers = self.machine.n_cores if self.machine else (
-                4 if backend == "threads" else 1)
+                default_thread_workers() if backend == "threads" else 1)
         self.n_workers = n_workers
         self.graph = TaskGraph()
         self.traces: list[Trace] = []

@@ -23,14 +23,25 @@ Deterministic multicore *timing* studies use the discrete-event backend in
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 import time
-from typing import Optional
+from typing import Callable, Optional
 
-from ..errors import wrap_task_error
+from ..errors import SchedulerError, wrap_task_error
 from .dag import TaskGraph
 from .task import Task
 from .trace import Trace, TraceEvent
+
+
+def default_thread_workers() -> int:
+    """Default worker count for ``backend="threads"``: one per core.
+
+    Derived from ``os.cpu_count()`` (clamped to [1, 32]) so defaults
+    scale with the machine like the paper's 1-16 thread study assumes,
+    instead of the historical hardcoded 4.
+    """
+    return max(1, min(32, os.cpu_count() or 4))
 
 
 class _ReadyQueue:
@@ -132,8 +143,10 @@ class ThreadScheduler:
       that publish new ready tasks bump a version counter and notify.
     """
 
-    def __init__(self, n_workers: int = 4, n_stripes: int = 64,
+    def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
                  recorder=None, injector=None):
+        if n_workers is None:
+            n_workers = default_thread_workers()
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
@@ -326,3 +339,328 @@ class _WorkerStats:
         self.park_s = 0.0
         self.dep_s = 0.0
         self.depth_samples: list[tuple[float, float]] = []
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool: fused execution of many sub-graphs
+# ---------------------------------------------------------------------------
+
+
+class _FusedDeque:
+    """One pool worker's ready set: lock-guarded heap of keyed entries.
+
+    Entries are ``(key, (task, run))`` where ``key = (-priority,
+    global_order)`` is unique pool-wide, so heap comparison never reaches
+    the (non-comparable) payload and tasks from different sub-graphs
+    interleave by priority, then overall submission order."""
+
+    __slots__ = ("lock", "heap")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.heap: list[tuple[tuple[int, int], tuple]] = []
+
+    def push(self, key: tuple[int, int], item: tuple) -> None:
+        with self.lock:
+            heapq.heappush(self.heap, (key, item))
+
+    def pop(self) -> Optional[tuple]:
+        with self.lock:
+            if self.heap:
+                return heapq.heappop(self.heap)[1]
+        return None
+
+
+class PoolRun:
+    """One sub-graph submitted to a :class:`WorkerPool`.
+
+    Owns the run's dependency countdowns, trace events, failure record
+    and completion signal.  Isolation boundary of the fused super-DAG:
+    a task failure marks *this* run failed (its queued tasks drain as
+    no-ops) while every other run proceeds untouched.
+    """
+
+    __slots__ = ("graph", "n_tasks", "pending", "remaining", "t0",
+                 "events", "errors", "finalized", "trace", "recorder",
+                 "injector", "order_base", "on_done", "_done_event",
+                 "n_executed")
+
+    def __init__(self, graph: TaskGraph, order_base: int,
+                 recorder=None, injector=None,
+                 on_done: Optional[Callable[["PoolRun"], None]] = None):
+        self.graph = graph
+        self.n_tasks = len(graph.tasks)
+        self.pending = [t.n_deps for t in graph.tasks]
+        self.remaining = self.n_tasks
+        self.t0 = time.perf_counter()
+        self.events: list[TraceEvent] = []   # list.append is GIL-atomic
+        self.errors: list[BaseException] = []
+        self.finalized = False
+        self.trace: Optional[Trace] = None
+        self.recorder = recorder
+        self.injector = injector
+        self.order_base = order_base
+        self.on_done = on_done
+        self.n_executed = 0
+        self._done_event = threading.Event()
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.errors)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run completes (or fails); True when done."""
+        return self._done_event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Trace:
+        """The run's trace; re-raises the first task failure, typed."""
+        if not self._done_event.wait(timeout):
+            raise SchedulerError("timed out waiting for pool run")
+        if self.errors:
+            raise self.errors[0]
+        return self.trace
+
+
+class WorkerPool:
+    """Persistent work-stealing worker pool executing fused sub-graphs.
+
+    The scheduling core is the same as :class:`ThreadScheduler` —
+    per-worker priority deques, striped dependency counting, stealing on
+    empty, condvar parking — but the ``n_workers`` OS threads are
+    spawned **once** and park between solves instead of being joined:
+    :meth:`submit` seeds a new sub-graph's source tasks into the worker
+    deques and returns immediately with a :class:`PoolRun` handle, so
+    panel tasks from one problem fill workers idled by another problem's
+    serial merge spine (the fused super-DAG of the session layer).
+
+    Isolation is per run: dependency countdowns, traces, fault injectors
+    and failure state are all run-local; the only shared state is the
+    ready deques and the idle condvar.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
+                 recorder=None):
+        if n_workers is None:
+            n_workers = default_thread_workers()
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.n_stripes = max(1, n_stripes)
+        self.recorder = recorder
+        self._deques = [_FusedDeque() for _ in range(n_workers)]
+        self._stripes = [threading.Lock() for _ in range(self.n_stripes)]
+        self._cv = threading.Condition()
+        self._state = {"version": 0}
+        self._shutdown = False
+        self._order = 0          # global submission-order counter
+        self._rr = 0             # round-robin seeding cursor
+        self.runs_completed = 0
+        observe = recorder is not None and getattr(recorder, "enabled",
+                                                   False)
+        self._wstats = ([_WorkerStats() for _ in range(n_workers)]
+                        if observe else None)
+        self._threads = [
+            threading.Thread(target=self._worker, args=(w,), daemon=True,
+                             name=f"repro-pool-{w}")
+            for w in range(n_workers)]
+        for th in self._threads:
+            th.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, graph: TaskGraph, *, recorder=None, injector=None,
+               on_done: Optional[Callable[[PoolRun], None]] = None
+               ) -> PoolRun:
+        """Fuse ``graph`` into the running super-DAG; returns its handle."""
+        graph.validate_acyclic()
+        with self._cv:
+            if self._shutdown:
+                raise SchedulerError("worker pool is shut down")
+            run = PoolRun(graph, self._order, recorder=recorder,
+                          injector=injector, on_done=on_done)
+            self._order += max(1, run.n_tasks)
+            if run.n_tasks == 0:
+                self._finalize_locked(run)
+                self._complete(run)
+                return run
+            nw = self.n_workers
+            seeded = self._rr
+            for t in graph.tasks:
+                if t.n_deps == 0:
+                    self._deques[seeded % nw].push(
+                        (-t.priority, run.order_base + t.seq), (t, run))
+                    seeded += 1
+            self._rr = seeded % nw
+            self._state["version"] += 1
+            self._cv.notify_all()
+        return run
+
+    # -- worker loop -----------------------------------------------------
+    def _try_pop(self, wid: int,
+                 st: Optional[_WorkerStats]) -> Optional[tuple]:
+        entry = self._deques[wid].pop()
+        if entry is not None:
+            return entry
+        if st is not None:
+            st.steal_attempts += 1
+        nw = self.n_workers
+        for off in range(1, nw):
+            entry = self._deques[(wid + off) % nw].pop()
+            if entry is not None:
+                if st is not None:
+                    st.steal_successes += 1
+                return entry
+        return None
+
+    def _worker(self, wid: int) -> None:
+        my = self._deques[wid]
+        cv = self._cv
+        stripes = self._stripes
+        state = self._state
+        st = self._wstats[wid] if self._wstats is not None else None
+        while True:
+            # Unlocked reads are safe under the GIL; the condvar re-checks
+            # before parking, so no wakeup can be lost.
+            if self._shutdown:
+                return
+            version = state["version"]
+            entry = self._try_pop(wid, st)
+            if entry is None:
+                with cv:
+                    if not self._shutdown and state["version"] == version:
+                        pa = time.perf_counter()
+                        # Timeout is a lost-wakeup safety net only.
+                        cv.wait(timeout=0.05)
+                        if st is not None:
+                            st.parks += 1
+                            st.park_s += time.perf_counter() - pa
+                continue
+
+            task, run = entry
+            if run.finalized:
+                continue            # failed run: drain queued tasks as no-ops
+            a = time.perf_counter()
+            try:
+                if run.injector is not None:
+                    run.injector.maybe_fail(task)
+                task.run()
+            except Exception as exc:
+                failure = wrap_task_error(task, exc, worker=wid)
+                if failure is not exc:
+                    failure.__cause__ = exc
+                self._fail_run(run, failure)
+                continue
+            except BaseException as exc:    # KeyboardInterrupt & co.
+                self._fail_run(run, exc)
+                continue
+            b = time.perf_counter()
+            task.mark_done()
+            run.events.append(TraceEvent(task.uid, task.name, wid,
+                                         a - run.t0, b - run.t0, task.tag))
+
+            made_ready = 0
+            if not run.failed:
+                if st is not None:
+                    ra = time.perf_counter()
+                base = run.order_base
+                pending = run.pending
+                for s in task.successors:
+                    with stripes[s.seq % self.n_stripes]:
+                        pending[s.seq] -= 1
+                        now_ready = pending[s.seq] == 0
+                    if now_ready:
+                        my.push((-s.priority, base + s.seq), (s, run))
+                        made_ready += 1
+                if st is not None:
+                    st.dep_s += time.perf_counter() - ra
+                    st.depth_samples.append((b, float(len(my.heap))))
+            done = False
+            with cv:
+                run.remaining -= 1
+                run.n_executed += 1
+                if run.remaining == 0 and not run.finalized:
+                    self._finalize_locked(run)
+                    done = True
+                state["version"] += 1
+                if made_ready > 1:
+                    cv.notify(made_ready - 1)
+                elif made_ready == 0:
+                    # Nothing new published; peers may still be waiting
+                    # on tasks stolen from us — cheap notify.
+                    cv.notify(1)
+            if done:
+                self._complete(run)
+
+    # -- run completion --------------------------------------------------
+    @staticmethod
+    def _finalize_locked(run: PoolRun) -> None:
+        run.finalized = True
+
+    def _fail_run(self, run: PoolRun, failure: BaseException) -> None:
+        with self._cv:
+            run.errors.append(failure)
+            run.remaining -= 1
+            run.n_executed += 1
+            already = run.finalized
+            run.finalized = True
+            cancelled = max(0, run.remaining)
+            self._state["version"] += 1
+            self._cv.notify_all()
+        if already:
+            return                  # a concurrent peer failed first
+        rec = run.recorder
+        if rec is not None and getattr(rec, "enabled", False):
+            rec.add("scheduler.failures")
+            rec.add("scheduler.cancelled_tasks", cancelled)
+            rec.add("scheduler.tasks", run.n_executed)
+        self._complete(run)
+
+    def _complete(self, run: PoolRun) -> None:
+        """Build the run's trace and signal completion (last worker)."""
+        if not run.failed:
+            trace = Trace(n_workers=self.n_workers)
+            run.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
+            trace.events = run.events
+            run.trace = trace
+            rec = run.recorder
+            if rec is not None and getattr(rec, "enabled", False):
+                rec.add("scheduler.tasks", run.n_tasks)
+        with self._cv:
+            self.runs_completed += 1
+        if run.on_done is not None:
+            try:
+                run.on_done(run)
+            except Exception:       # a hook must never kill a worker
+                pass
+        run._done_event.set()
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop and join the workers.  Queued tasks of still-active runs
+        are abandoned — callers (the session layer) drain their runs
+        first.  Idempotent."""
+        with self._cv:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._cv.notify_all()
+        for th in self._threads:
+            th.join()
+        rec = self.recorder
+        if (rec is not None and getattr(rec, "enabled", False)
+                and self._wstats is not None):
+            for st in self._wstats:
+                rec.add("scheduler.steal.attempts", st.steal_attempts)
+                rec.add("scheduler.steal.successes", st.steal_successes)
+                rec.add("scheduler.park.count", st.parks)
+                rec.add("scheduler.park.time_s", st.park_s)
+                rec.add("scheduler.dep_resolve.time_s", st.dep_s)
+
+    @property
+    def closed(self) -> bool:
+        return self._shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
