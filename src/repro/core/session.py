@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -60,19 +61,32 @@ class WorkspacePool:
     eigenvectors) is *forgotten* — its ownership passes to the caller —
     so results never alias a recycled buffer.
 
+    Retention is bounded twice: per shape (``max_free_per_shape``) and
+    globally (``max_free_bytes``, LRU-by-shape eviction).  The global
+    cap matters because merge ``X`` buffers are ``(k, k)`` with a
+    deflation-dependent — i.e. matrix-dependent — ``k``, so a long-lived
+    session over varied inputs would otherwise accumulate a free list
+    for every distinct ``k`` it ever saw.
+
     ``high_water_bytes`` tracks the peak bytes owned by the arena
     (free + lent out) and feeds the existing
     ``workspace.high_water_bytes`` telemetry gauge.
     """
 
-    def __init__(self, max_free_per_shape: int = 8, recorder=None):
+    def __init__(self, max_free_per_shape: int = 8,
+                 max_free_bytes: int = 256 * 2 ** 20, recorder=None):
         self.max_free_per_shape = max_free_per_shape
+        self.max_free_bytes = max_free_bytes
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._lock = threading.Lock()
-        self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        # Shape -> free buffers, in least-recently-used shape order.
+        self._free: OrderedDict[tuple[int, ...], list[np.ndarray]] = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.owned_bytes = 0
+        self.free_bytes = 0
         self.high_water_bytes = 0
 
     def take(self, shape: tuple[int, ...]) -> np.ndarray:
@@ -83,6 +97,11 @@ class WorkspacePool:
             stack = self._free.get(shape)
             if stack:
                 buf = stack.pop()
+                if stack:
+                    self._free.move_to_end(shape)
+                else:
+                    del self._free[shape]
+                self.free_bytes -= buf.nbytes
                 self.hits += 1
                 if rec.enabled:
                     rec.add("workspace_pool.hits")
@@ -99,16 +118,33 @@ class WorkspacePool:
         return np.zeros(shape, order="F")
 
     def release(self, buf: Optional[np.ndarray]) -> None:
-        """Return a buffer for reuse (dropped when the shape's free list
-        is full, so pathological shape churn cannot hoard memory)."""
+        """Return a buffer for reuse.
+
+        Dropped when the shape's free list is full; past the global
+        byte cap, whole least-recently-used *shapes* are evicted, so
+        distinct-shape churn cannot grow the arena without bound.
+        """
         if buf is None or buf.size == 0:
             return
         with self._lock:
-            stack = self._free.setdefault(buf.shape, [])
-            if len(stack) < self.max_free_per_shape:
-                stack.append(buf)
-            else:
+            stack = self._free.get(buf.shape)
+            if stack is not None and len(stack) >= self.max_free_per_shape:
                 self.owned_bytes -= buf.nbytes
+                return
+            if stack is None:
+                stack = self._free[buf.shape] = []
+            else:
+                self._free.move_to_end(buf.shape)
+            stack.append(buf)
+            self.free_bytes += buf.nbytes
+            while self.free_bytes > self.max_free_bytes and self._free:
+                lru_shape, lru_stack = next(iter(self._free.items()))
+                victim = lru_stack.pop()
+                if not lru_stack:
+                    del self._free[lru_shape]
+                self.free_bytes -= victim.nbytes
+                self.owned_bytes -= victim.nbytes
+                self.evictions += 1
 
     def forget(self, buf: Optional[np.ndarray]) -> None:
         """Transfer a buffer's ownership out of the pool (result hand-off)."""
@@ -122,7 +158,9 @@ class WorkspacePool:
             lookups = self.hits + self.misses
             return {"hits": self.hits, "misses": self.misses,
                     "hit_rate": self.hits / lookups if lookups else None,
+                    "evictions": self.evictions,
                     "owned_bytes": self.owned_bytes,
+                    "free_bytes": self.free_bytes,
                     "high_water_bytes": self.high_water_bytes,
                     "free_buffers": sum(len(v) for v in
                                         self._free.values())}
@@ -337,17 +375,31 @@ class SolverSession:
         """Drain outstanding solves (``wait=True``) and stop the workers.
 
         Idempotent.  Further ``submit`` calls raise
-        :class:`~repro.errors.SchedulerError`.
+        :class:`~repro.errors.SchedulerError`.  ``_closed`` flips under
+        the session lock — the same lock ``_submit_pool`` holds while
+        registering a handle — so every submission either lands in the
+        drain snapshot below or observes the closed session and raises;
+        a run that still slips into the pool is *failed* (not stranded)
+        by ``WorkerPool.shutdown``.
         """
-        if self._closed:
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            pending = list(self._outstanding)
+        if already:
             return
-        self._closed = True
         if wait:
-            with self._lock:
-                pending = list(self._outstanding)
             for h in pending:
-                if h._run is not None:
-                    h._run.wait()
+                run = h._run
+                if run is None:
+                    # The submitter registered the handle but has not
+                    # fused its graph yet; assignment is imminent.
+                    deadline = time.perf_counter() + 1.0
+                    while h._run is None and time.perf_counter() < deadline:
+                        time.sleep(0.001)
+                    run = h._run
+                if run is not None:
+                    run.wait()
         if self._pool is not None:
             self._pool.shutdown()
 
@@ -450,8 +502,6 @@ class SolverSession:
             # completion hook (a worker thread), so a blocked submit
             # always unblocks.
             self._slots.acquire()
-            with self._lock:
-                self._outstanding.add(handle)
 
             def _on_done(run, h=handle):
                 h._ctx.release_workspace(h._info.states.values(),
@@ -463,10 +513,16 @@ class SolverSession:
 
             try:
                 with self._lock:
+                    # Re-checked under the lock: a concurrent close()
+                    # either sees this handle in _outstanding or this
+                    # submit raises — never a silently stranded handle.
+                    if self._closed:
+                        raise SchedulerError("session is closed")
                     if self._pool is None:
                         self._pool = WorkerPool(self.n_workers,
                                                 recorder=opts.telemetry)
                     pool = self._pool
+                    self._outstanding.add(handle)
                 handle._run = pool.submit(graph, recorder=opts.telemetry,
                                           injector=injector,
                                           on_done=_on_done)

@@ -346,6 +346,11 @@ class _WorkerStats:
 # ---------------------------------------------------------------------------
 
 
+#: Queue-depth samples buffered per worker before flushing to the
+#: recorder (bounds telemetry memory in a long-lived pool).
+_DEPTH_FLUSH = 1024
+
+
 class _FusedDeque:
     """One pool worker's ready set: lock-guarded heap of keyed entries.
 
@@ -378,12 +383,18 @@ class PoolRun:
     and completion signal.  Isolation boundary of the fused super-DAG:
     a task failure marks *this* run failed (its queued tasks drain as
     no-ops) while every other run proceeds untouched.
+
+    ``inflight`` counts tasks of this run currently executing on some
+    worker.  Completion (and the ``on_done`` hook, which may recycle the
+    run's workspace buffers) only happens once the run is finalized AND
+    ``inflight`` is zero — a failed run must not release buffers while a
+    peer worker is still writing into them.
     """
 
     __slots__ = ("graph", "n_tasks", "pending", "remaining", "t0",
                  "events", "errors", "finalized", "trace", "recorder",
                  "injector", "order_base", "on_done", "_done_event",
-                 "n_executed")
+                 "n_executed", "lock", "inflight", "_deferred")
 
     def __init__(self, graph: TaskGraph, order_base: int,
                  recorder=None, injector=None,
@@ -402,6 +413,9 @@ class PoolRun:
         self.order_base = order_base
         self.on_done = on_done
         self.n_executed = 0
+        self.lock = threading.Lock()   # guards the lifecycle fields below
+        self.inflight = 0              # tasks executing on a worker now
+        self._deferred = False         # completion awaits inflight == 0
         self._done_event = threading.Event()
 
     @property
@@ -454,6 +468,8 @@ class WorkerPool:
         self._shutdown = False
         self._order = 0          # global submission-order counter
         self._rr = 0             # round-robin seeding cursor
+        self._active: set[PoolRun] = set()   # submitted, not yet completed
+        self._t0 = time.perf_counter()       # pool epoch for telemetry
         self.runs_completed = 0
         observe = recorder is not None and getattr(recorder, "enabled",
                                                    False)
@@ -479,19 +495,22 @@ class WorkerPool:
                           injector=injector, on_done=on_done)
             self._order += max(1, run.n_tasks)
             if run.n_tasks == 0:
-                self._finalize_locked(run)
-                self._complete(run)
-                return run
-            nw = self.n_workers
-            seeded = self._rr
-            for t in graph.tasks:
-                if t.n_deps == 0:
-                    self._deques[seeded % nw].push(
-                        (-t.priority, run.order_base + t.seq), (t, run))
-                    seeded += 1
-            self._rr = seeded % nw
-            self._state["version"] += 1
-            self._cv.notify_all()
+                run.finalized = True
+            else:
+                self._active.add(run)
+                nw = self.n_workers
+                seeded = self._rr
+                for t in graph.tasks:
+                    if t.n_deps == 0:
+                        self._deques[seeded % nw].push(
+                            (-t.priority, run.order_base + t.seq), (t, run))
+                        seeded += 1
+                self._rr = seeded % nw
+                self._state["version"] += 1
+                self._cv.notify_all()
+        if run.n_tasks == 0:
+            # Completed outside the condvar: on_done hooks may take locks.
+            self._complete(run)
         return run
 
     # -- worker loop -----------------------------------------------------
@@ -536,8 +555,10 @@ class WorkerPool:
                 continue
 
             task, run = entry
-            if run.finalized:
-                continue            # failed run: drain queued tasks as no-ops
+            with run.lock:
+                if run.finalized:
+                    continue        # failed run: drain queued tasks as no-ops
+                run.inflight += 1
             a = time.perf_counter()
             try:
                 if run.injector is not None:
@@ -572,14 +593,26 @@ class WorkerPool:
                         made_ready += 1
                 if st is not None:
                     st.dep_s += time.perf_counter() - ra
-                    st.depth_samples.append((b, float(len(my.heap))))
+                    st.depth_samples.append((b - self._t0,
+                                             float(len(my.heap))))
+                    if len(st.depth_samples) >= _DEPTH_FLUSH:
+                        self._flush_depth(wid, st)
             done = False
-            with cv:
+            with run.lock:
+                run.inflight -= 1
                 run.remaining -= 1
                 run.n_executed += 1
-                if run.remaining == 0 and not run.finalized:
-                    self._finalize_locked(run)
+                if not run.finalized:
+                    if run.remaining == 0:
+                        run.finalized = True
+                        done = True
+                elif run._deferred and run.inflight == 0:
+                    # Last in-flight task of a failed run: completion was
+                    # deferred until no task could still write into the
+                    # run's (about to be recycled) workspace buffers.
+                    run._deferred = False
                     done = True
+            with cv:
                 state["version"] += 1
                 if made_ready > 1:
                     cv.notify(made_ready - 1)
@@ -591,41 +624,52 @@ class WorkerPool:
                 self._complete(run)
 
     # -- run completion --------------------------------------------------
-    @staticmethod
-    def _finalize_locked(run: PoolRun) -> None:
-        run.finalized = True
-
     def _fail_run(self, run: PoolRun, failure: BaseException) -> None:
-        with self._cv:
+        """Record a task failure.  Completion is deferred while peers are
+        still executing tasks of this run: the on_done hook may hand the
+        run's workspace buffers to a concurrent same-shape solve, so it
+        must not fire until no in-flight task can write into them."""
+        complete_now = False
+        with run.lock:
+            first = not run.finalized
+            run.finalized = True
             run.errors.append(failure)
+            run.inflight -= 1
             run.remaining -= 1
             run.n_executed += 1
-            already = run.finalized
-            run.finalized = True
-            cancelled = max(0, run.remaining)
+            if first:
+                run._deferred = True
+            if run._deferred and run.inflight == 0:
+                run._deferred = False
+                complete_now = True
+        with self._cv:
             self._state["version"] += 1
             self._cv.notify_all()
-        if already:
-            return                  # a concurrent peer failed first
-        rec = run.recorder
-        if rec is not None and getattr(rec, "enabled", False):
-            rec.add("scheduler.failures")
-            rec.add("scheduler.cancelled_tasks", cancelled)
-            rec.add("scheduler.tasks", run.n_executed)
-        self._complete(run)
+        if complete_now:
+            self._complete(run)
 
     def _complete(self, run: PoolRun) -> None:
-        """Build the run's trace and signal completion (last worker)."""
+        """Build the run's trace/stats and signal completion.
+
+        Called exactly once per run, only when no task of the run is
+        executing or can still start (finalized and ``inflight == 0``).
+        """
+        rec = run.recorder
+        observe = rec is not None and getattr(rec, "enabled", False)
         if not run.failed:
             trace = Trace(n_workers=self.n_workers)
             run.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
             trace.events = run.events
             run.trace = trace
-            rec = run.recorder
-            if rec is not None and getattr(rec, "enabled", False):
+            if observe:
                 rec.add("scheduler.tasks", run.n_tasks)
+        elif observe:
+            rec.add("scheduler.failures", len(run.errors))
+            rec.add("scheduler.cancelled_tasks", max(0, run.remaining))
+            rec.add("scheduler.tasks", run.n_executed)
         with self._cv:
             self.runs_completed += 1
+            self._active.discard(run)
         if run.on_done is not None:
             try:
                 run.on_done(run)
@@ -633,11 +677,32 @@ class WorkerPool:
                 pass
         run._done_event.set()
 
+    # -- telemetry -------------------------------------------------------
+    def _flush_depth(self, wid: int, st: _WorkerStats) -> None:
+        """Export and clear one worker's queue-depth samples.
+
+        Unlike the one-shot :class:`ThreadScheduler` (which merges once
+        after join), a persistent pool must flush periodically or the
+        sample lists grow without bound over the session's lifetime.
+        Timestamps are pool-epoch relative (seconds since construction).
+        """
+        samples, st.depth_samples = st.depth_samples, []
+        rec = self.recorder
+        if rec is not None and getattr(rec, "enabled", False):
+            rec.bulk_samples("scheduler.queue_depth", wid, samples)
+            rec.observe_many("scheduler.queue_depth",
+                             (d for _, d in samples))
+
     # -- lifecycle -------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop and join the workers.  Queued tasks of still-active runs
-        are abandoned — callers (the session layer) drain their runs
-        first.  Idempotent."""
+        """Stop and join the workers.
+
+        Runs that still have unexecuted tasks when the workers exit are
+        *failed* (a :class:`SchedulerError` is recorded and their
+        completion hooks run), never silently abandoned — a waiting
+        ``PoolRun.result()`` raises instead of blocking forever.
+        Idempotent.
+        """
         with self._cv:
             if self._shutdown:
                 return
@@ -645,15 +710,28 @@ class WorkerPool:
             self._cv.notify_all()
         for th in self._threads:
             th.join()
+        with self._cv:
+            stranded = list(self._active)
+            self._active.clear()
+        for run in stranded:
+            with run.lock:
+                if run._done_event.is_set():
+                    continue
+                run.errors.append(SchedulerError(
+                    "worker pool shut down before run completed"))
+                run.finalized = True
+                run._deferred = False
+            self._complete(run)
         rec = self.recorder
         if (rec is not None and getattr(rec, "enabled", False)
                 and self._wstats is not None):
-            for st in self._wstats:
+            for w, st in enumerate(self._wstats):
                 rec.add("scheduler.steal.attempts", st.steal_attempts)
                 rec.add("scheduler.steal.successes", st.steal_successes)
                 rec.add("scheduler.park.count", st.parks)
                 rec.add("scheduler.park.time_s", st.park_s)
                 rec.add("scheduler.dep_resolve.time_s", st.dep_s)
+                self._flush_depth(w, st)
 
     @property
     def closed(self) -> bool:

@@ -9,6 +9,9 @@ workspace-arena accounting, LRU template eviction, handle lifecycle and
 session shutdown.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -162,6 +165,21 @@ def test_workspace_pool_recycles_and_accounts():
     assert pool.high_water_bytes == 128
 
 
+def test_workspace_pool_global_byte_cap_evicts_lru_shapes():
+    # Distinct (k,k) shapes model deflation-dependent merge X buffers:
+    # without the global cap every k ever seen would retain free lists.
+    pool = WorkspacePool(max_free_bytes=300)
+    bufs = [pool.take((k, k)) for k in range(2, 7)]
+    for b in bufs:
+        pool.release(b)
+    st = pool.stats()
+    assert st["free_bytes"] <= 300
+    assert st["evictions"] >= 1
+    assert st["owned_bytes"] == st["free_bytes"]
+    # The most recently released shape survives eviction (LRU order).
+    assert pool.take((6, 6)) is bufs[-1]
+
+
 def test_workspace_pool_drops_beyond_cap():
     pool = WorkspacePool(max_free_per_shape=1)
     bufs = [pool.take((3, 3)) for _ in range(3)]
@@ -276,6 +294,74 @@ def test_close_drains_outstanding_solves():
     for h in handles:
         lam, V = h.result()
         assert lam.shape == (150,)
+
+
+def test_failed_run_defers_completion_until_inflight_tasks_return():
+    """A failed run's on_done (which recycles workspace buffers) must not
+    fire while a task of that run is still executing on another worker."""
+    from repro.runtime.task import DataHandle, OUTPUT
+    executing = [0]
+    release = threading.Event()
+
+    def slow():
+        executing[0] += 1
+        try:
+            release.wait(5.0)
+        finally:
+            executing[0] -= 1
+
+    def boom():
+        time.sleep(0.05)        # let `slow` get onto the other worker
+        raise RuntimeError("boom")
+
+    g = TaskGraph()
+    g.insert_task(slow, [(DataHandle(), OUTPUT)], name="slow")
+    g.insert_task(boom, [(DataHandle(), OUTPUT)], name="boom")
+    inflight_at_done = []
+    pool = WorkerPool(n_workers=2)
+    try:
+        run = pool.submit(
+            g, on_done=lambda r: inflight_at_done.append(executing[0]))
+        time.sleep(0.3)         # boom failed; slow still holds a worker
+        assert not run.wait(0)  # completion deferred, not signalled early
+        release.set()
+        assert run.wait(5.0)
+        assert inflight_at_done == [0]
+        with pytest.raises(TaskFailure, match="boom"):
+            run.result(timeout=1.0)
+    finally:
+        release.set()
+        pool.shutdown()
+
+
+def test_shutdown_fails_stranded_runs_instead_of_hanging():
+    """Queued-but-never-run tasks at shutdown fail their run with a
+    typed error; a waiting result() raises instead of blocking forever."""
+    from repro.runtime.task import DataHandle, OUTPUT
+    started = threading.Event()
+    release = threading.Event()
+
+    def hold():
+        started.set()
+        release.wait(5.0)
+
+    g1 = TaskGraph()
+    g1.insert_task(hold, [(DataHandle(), OUTPUT)], name="hold")
+    g2 = TaskGraph()
+    g2.insert_task(lambda: None, [(DataHandle(), OUTPUT)], name="never")
+    pool = WorkerPool(n_workers=1)
+    run1 = pool.submit(g1)
+    assert started.wait(5.0)
+    run2 = pool.submit(g2)     # queued behind `hold` on the only worker
+    closer = threading.Thread(target=pool.shutdown)
+    closer.start()
+    time.sleep(0.05)           # shutdown flag is set; worker still busy
+    release.set()
+    closer.join(timeout=10.0)
+    assert not closer.is_alive()
+    assert run1.result(timeout=5.0) is not None
+    with pytest.raises(SchedulerError, match="shut down"):
+        run2.result(timeout=5.0)
 
 
 def test_worker_pool_rejects_submit_after_shutdown():
