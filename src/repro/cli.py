@@ -56,6 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--inject", default=None, metavar="SPEC",
                    help="deterministic fault injection (dc solver only): "
                         "task:SEQ | kernel:NAME[:NTH] | p:PROB[:SEED]")
+    s.add_argument("--nb", type=int, default=None,
+                   help="panel width (dc solver only; default: auto)")
+    s.add_argument("--priority-mode", default=None,
+                   choices=["none", "blevel"],
+                   help="task priorities: b-level critical path (default) "
+                        "or none (dc solver only)")
     s.add_argument("--seed", type=int, default=0)
 
     v = sub.add_parser("svd", help="D&C SVD of a random dense matrix")
@@ -83,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=["sequential", "parallel-gemm", "parallel-merge",
                             "full-taskflow"],
                    help="scheduler configuration (Fig. 3 variants)")
+    t.add_argument("--nb", type=int, default=None,
+                   help="panel width override (default: auto)")
+    t.add_argument("--priority-mode", default=None,
+                   choices=["none", "blevel"],
+                   help="task priorities: b-level critical path (default) "
+                        "or none")
     t.add_argument("--width", type=int, default=100, help="chart width")
     t.add_argument("--out", default=None, metavar="DIR",
                    help="dump trace.jsonl, trace_chrome.json, gantt.txt, "
@@ -131,7 +143,10 @@ def _cmd_solve(args) -> int:
         opts = DCOptions(reuse_graph=bool(getattr(args, "reuse_graph",
                                                   False)),
                          fault_injection=(FaultSpec.parse(inject)
-                                          if inject else None))
+                                          if inject else None),
+                         nb=getattr(args, "nb", None))
+        if getattr(args, "priority_mode", None):
+            opts = opts.with_(priority_mode=args.priority_mode)
         try:
             if use_session:
                 # Repeated solves share one session: persistent workers,
@@ -200,6 +215,10 @@ def _cmd_trace(args) -> int:
     collector = Collector()
     opts = FIG3_CONFIGS[args.config].with_(minpart=max(32, n // 8),
                                            telemetry=collector)
+    if getattr(args, "nb", None) is not None:
+        opts = opts.with_(nb=args.nb)
+    if getattr(args, "priority_mode", None):
+        opts = opts.with_(priority_mode=args.priority_mode)
     res = dc_eigh(d, e, options=opts, backend=args.backend,
                   n_workers=args.cores, full_result=True)
     gantt = res.trace.gantt(width=args.width)

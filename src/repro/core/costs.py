@@ -41,8 +41,17 @@ def cost_permute(rows_moved: float) -> TaskCost:
     return TaskCost(bytes_moved=16.0 * rows_moved)
 
 
-def cost_laed4(k: int, m: int, sweeps: float = 10.0) -> TaskCost:
-    """Secular solve for m roots against k poles: Θ(k·m) per sweep."""
+def cost_laed4(k: int, m: int, sweeps: float | None = None) -> TaskCost:
+    """Secular solve for m roots against k poles: Θ(k·m) per sweep.
+
+    ``sweeps`` defaults to the active calibration's measured mean
+    iteration count per root (``Calibration.secular_sweeps``, probed at
+    calibration time); without calibration this resolves to the
+    historical constant 10.0.
+    """
+    if sweeps is None:
+        from .calibrate import get_calibration
+        sweeps = get_calibration().secular_sweeps
     return TaskCost(flops=6.0 * sweeps * k * m)
 
 

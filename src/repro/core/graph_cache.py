@@ -55,9 +55,24 @@ def template_key(n: int, opts: DCOptions,
     either, but it selects the root-merge output restriction, so it is
     part of the key defensively (shape reuse across subset sizes would
     still be correct; distinct keys keep the cache semantics obvious).
+
+    The scheduling layer contributes too: ``priority_mode`` selects
+    whether cached tasks carry b-level priorities, adaptive mode makes
+    panel counts depend on the planned worker count, and the active
+    calibration's value key covers both the adaptive cost floor and the
+    priority scale (a recalibrated process must not reuse stale
+    priorities or widths).
     """
+    from .calibrate import get_calibration
+    adaptive = opts.adaptive_nb and opts.nb is None
+    scheduling = (opts.priority_mode,
+                  adaptive,
+                  opts.resolved_parallelism() if adaptive else 0,
+                  get_calibration().key
+                  if (adaptive or opts.priority_mode == "blevel") else None)
     return (n, opts.minpart, opts.effective_nb(n), opts.fork_join,
-            opts.level_barrier, opts.extra_workspace, subset_size)
+            opts.level_barrier, opts.extra_workspace, subset_size,
+            scheduling)
 
 
 class _TaskDescriptor:
@@ -168,7 +183,7 @@ def instantiate(template: GraphTemplate,
         if not node.is_leaf:
             info.states[(node.lo, node.hi)] = MergeState(ctx, node)
     npan_of = {span: len(panel_ranges(st.node.n,
-                                      ctx.opts.effective_nb(ctx.n)))
+                                      ctx.opts.node_nb(st.node.n, ctx.n)))
                for span, st in info.states.items()}
 
     graph = TaskGraph()

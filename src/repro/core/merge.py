@@ -246,7 +246,7 @@ class MergeState:
         self.fallback_exc: Optional[BaseException] = None
         self._flock = threading.Lock()
         self._writers_left = 2 * len(
-            panel_ranges(node.n, ctx.opts.effective_nb(ctx.n)))
+            panel_ranges(node.n, ctx.opts.node_nb(node.n, ctx.n)))
 
     # convenience ----------------------------------------------------------
     @property

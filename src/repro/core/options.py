@@ -2,8 +2,20 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any
+
+#: Adaptive-nb policy constants: spine levels aim for ``OVERSUB x
+#: workers`` panels across the level; no panel narrower than 16 columns
+#: or ``OVERHEAD_RATIO`` per-task dispatch costs of work.  OVERSUB = 3
+#: won a sweep over {2..8} on the simulated 16-core machine at the
+#: Fig-6 sizes (n >= 2500): enough slack to keep the stealing queues
+#: fed and the panel tails balanced (2 starves the work-bound shapes;
+#: 4+ drowns the overhead-bound ones in dispatch cost).
+_ADAPTIVE_OVERSUB = 3
+_ADAPTIVE_MIN_NB = 16
+_ADAPTIVE_OVERHEAD_RATIO = 20
 
 
 @dataclass(frozen=True)
@@ -56,6 +68,33 @@ class DCOptions:
         task N / kernel name / probability with seed), exercising the
         cancellation and error-propagation paths.  ``None`` (default)
         adds no work to the hot path.
+    ``priority_mode``
+        ``"blevel"`` (default): every task is submitted with its
+        bottom-level priority — the cost-weighted longest path from the
+        task to the DAG sink, in calibrated seconds (see
+        :mod:`repro.core.calibrate`) — so all backends run the
+        critical path first.  ``"none"`` submits every task at priority
+        0 (the pre-scheduling-layer behavior).  Priorities only reorder
+        independent work: numerics are bitwise identical either way.
+    ``adaptive_nb``
+        When True (and ``nb`` is None), the panel width is chosen per
+        merge level instead of globally: merges deep in the tree, where
+        sibling subproblems already saturate the workers, get one full
+        panel (fewer tasks, less dispatch overhead); merges on the
+        spine split into enough panels to feed the workers, never
+        narrower than the calibrated cost floor (panel work at least
+        ``_ADAPTIVE_OVERHEAD_RATIO`` x the per-task dispatch cost).
+        Default False: panel boundaries change the association of the
+        ``ReduceW`` partial products (last-ulp differences), so the
+        default stays bitwise identical to the historical global width.
+        An explicit ``nb`` always wins.
+    ``target_parallelism``
+        Worker count the adaptive-nb policy plans for.  ``None`` plans
+        for 16 (the paper's machine).  Deliberately *not* auto-filled
+        from the executing backend's worker count: the planned width is
+        part of the DAG shape, and panel boundaries carry last-ulp
+        differences, so it must be an explicit knob for results to stay
+        bitwise identical across backends.
     """
 
     minpart: int = 64
@@ -67,18 +106,71 @@ class DCOptions:
     reuse_graph: bool = False
     telemetry: Any = field(default=None, compare=False)
     fault_injection: Any = None
+    priority_mode: str = "blevel"
+    adaptive_nb: bool = False
+    target_parallelism: int | None = None
 
     def __post_init__(self) -> None:
         if self.minpart < 1:
             raise ValueError("minpart must be >= 1")
         if self.nb is not None and self.nb < 1:
             raise ValueError("nb must be >= 1")
+        if self.priority_mode not in ("none", "blevel"):
+            raise ValueError("priority_mode must be 'none' or 'blevel', "
+                             f"got {self.priority_mode!r}")
+        if self.target_parallelism is not None and self.target_parallelism < 1:
+            raise ValueError("target_parallelism must be >= 1")
 
     def effective_nb(self, n: int) -> int:
-        """Panel width used for a problem of size ``n``."""
+        """Global panel width used for a problem of size ``n``."""
         if self.nb is not None:
             return self.nb
         return min(256, max(32, n // 64))
+
+    def resolved_parallelism(self) -> int:
+        """Worker count the scheduling layer plans for."""
+        return self.target_parallelism if self.target_parallelism else 16
+
+    def node_nb(self, node_n: int, n: int) -> int:
+        """Panel width for one merge node of size ``node_n`` in a
+        problem of size ``n``.
+
+        With ``adaptive_nb`` off (or an explicit ``nb``) this is the
+        global :meth:`effective_nb`.  Adaptive mode implements the
+        level policy: a level with at least ``resolved_parallelism()``
+        concurrent merges gets one full-width panel per merge; spine
+        levels split into ``_ADAPTIVE_OVERSUB x workers / concurrent``
+        panels, clamped below by the calibrated cost floor so no panel
+        task is smaller than ``_ADAPTIVE_OVERHEAD_RATIO`` dispatch
+        overheads of work.
+        """
+        if self.nb is not None or not self.adaptive_nb:
+            return self.effective_nb(n)
+        node_n = max(1, node_n)
+        w = self.resolved_parallelism()
+        concurrent = max(1, n // node_n)
+        if concurrent >= w:
+            return node_n
+        want = -(-_ADAPTIVE_OVERSUB * w // concurrent)  # ceil division
+        nb = -(-node_n // min(want, node_n))
+        floor = min(node_n, max(_ADAPTIVE_MIN_NB, self._nb_cost_floor(node_n)))
+        return max(floor, nb)
+
+    def _nb_cost_floor(self, node_n: int) -> int:
+        """Smallest panel width whose per-panel work still dwarfs the
+        calibrated per-task dispatch cost."""
+        from .calibrate import get_calibration
+        cal = get_calibration()
+        # Per-column work of the merge panel pipeline at zero deflation
+        # (k = node_n): the UpdateVect GEMM column plus the secular /
+        # stabilization Theta(k) kernels.
+        per_col_s = (float(node_n) * node_n / cal.gemm_flop_rate
+                     + 6.0 * (cal.secular_sweeps + 2.0) * node_n
+                     / cal.flop_rate)
+        if per_col_s <= 0.0:
+            return 1
+        want_s = _ADAPTIVE_OVERHEAD_RATIO * cal.task_overhead_s
+        return max(1, math.ceil(want_s / per_col_s))
 
     def with_(self, **kwargs) -> "DCOptions":
         return replace(self, **kwargs)

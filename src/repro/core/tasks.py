@@ -27,18 +27,37 @@ extra dependencies:
 from __future__ import annotations
 
 import math
+import time
 from typing import Optional
 
 import numpy as np
 
 from ..runtime.dag import TaskGraph
-from ..runtime.task import DataHandle, INPUT, INOUT, OUTPUT, GATHERV
+from ..runtime.task import DataHandle, INPUT, INOUT, OUTPUT, GATHERV, TaskCost
 from . import costs
+from .calibrate import get_calibration
 from .merge import DCContext, MergeState, panel_ranges
 from .options import DCOptions
 from .tree import Node, build_tree
 
 __all__ = ["submit_dc", "DCGraphInfo"]
+
+#: Seconds per priority unit.  b-levels are quantized coarsely — 0.5 ms
+#: per unit — on purpose: tasks within ~one quantum of critical path
+#: keep equal priority and fall back to FIFO submission order, which
+#: pipelines one merge's kernels to completion instead of starting every
+#: ready merge's memory-bound phase at once (bandwidth saturation; on
+#: high-deflation matrices a fine 10 us quantum measurably *hurt* the
+#: simulated makespan).  Cross-level and cross-problem (fused super-DAG)
+#: differences are far larger than the quantum, so the critical-path
+#: preference survives quantization.
+_PRIORITY_QUANTUM = 500e-6
+
+#: Assumed deflation ratio of the shape-only cost estimates behind the
+#: b-level pass.  Real costs depend on deflation counts unknown until
+#: execution; the DAG (and therefore the priorities) must stay matrix
+#: independent, so estimates assume a fixed moderate ratio.
+_EST_DEFLATION = 0.25
 
 
 class DCGraphInfo:
@@ -53,7 +72,13 @@ class DCGraphInfo:
 
 def submit_dc(graph: TaskGraph, ctx: DCContext,
               tree: Optional[Node] = None) -> DCGraphInfo:
-    """Insert the complete D&C task flow for ``ctx`` into ``graph``."""
+    """Insert the complete D&C task flow for ``ctx`` into ``graph``.
+
+    With ``opts.priority_mode == "blevel"`` every inserted task also
+    receives its bottom-level priority: the longest path, in calibrated
+    seconds of shape-only cost estimates, from the task to the DAG sink
+    (computed in one reverse sweep once the whole flow is submitted).
+    """
     opts = ctx.opts
     n = ctx.n
     tree = tree or build_tree(n, opts.minpart)
@@ -72,24 +97,40 @@ def submit_dc(graph: TaskGraph, ctx: DCContext,
             base = list(base) + [(serial, GATHERV if parallel else INOUT)]
         return base
 
-    graph.insert_task(ctx.t_scale, acc([(hT, INOUT)]), name="ScaleT",
-                      cost=costs.cost_scale(n))
-    graph.insert_task(ctx.t_partition, acc([(hT, INOUT)]), args=(tree,),
-                      name="Partition", cost=costs.cost_scale(n))
+    # Shape-only duration estimates (calibrated seconds) collected per
+    # task for the b-level pass; ``None`` when priorities are off.
+    start = graph.n_tasks
+    cal = get_calibration()
+    estimates: Optional[list[float]] = \
+        [] if opts.priority_mode == "blevel" else None
+
+    def ins(func, accesses, *, est, name, args=(), cost=None, tag=None):
+        t = graph.insert_task(func, accesses, args=args, name=name,
+                              cost=cost if cost is not None else est,
+                              tag=tag)
+        if estimates is not None:
+            estimates.append(cal.seconds(est, name))
+        return t
+
+    ins(ctx.t_scale, acc([(hT, INOUT)]), name="ScaleT",
+        est=costs.cost_scale(n))
+    ins(ctx.t_partition, acc([(hT, INOUT)]), args=(tree,),
+        name="Partition", est=costs.cost_scale(n))
 
     # --- leaves ---------------------------------------------------------
     for leaf in tree.leaves():
         h = DataHandle(f"V[{leaf.lo}:{leaf.hi}]")
         info.hV[(leaf.lo, leaf.hi)] = h
-        graph.insert_task(ctx.t_laset, acc([(h, OUTPUT)]), args=(leaf,),
-                          name="LASET", tag=(leaf.lo, leaf.hi),
-                          cost=costs.cost_laset(n, leaf.n))
-        graph.insert_task(ctx.t_stedc_leaf,
-                          acc([(hT, INPUT), (h, INOUT)]), args=(leaf,),
-                          name="STEDC", tag=(leaf.lo, leaf.hi),
-                          cost=costs.cost_stedc(leaf.n))
+        ins(ctx.t_laset, acc([(h, OUTPUT)]), args=(leaf,),
+            name="LASET", tag=(leaf.lo, leaf.hi),
+            est=costs.cost_laset(n, leaf.n))
+        ins(ctx.t_stedc_leaf,
+            acc([(hT, INPUT), (h, INOUT)]), args=(leaf,),
+            name="STEDC", tag=(leaf.lo, leaf.hi),
+            est=costs.cost_stedc(leaf.n))
 
     # --- merges, bottom-up with optional level barriers ------------------
+    rec = ctx.obs
     prev_level_barrier: Optional[DataHandle] = None
     for level_nodes in tree.merges_by_level():
         if opts.level_barrier:
@@ -98,32 +139,85 @@ def submit_dc(graph: TaskGraph, ctx: DCContext,
                     for nd in level_nodes]
             deps += [(info.hV[(nd.right.lo, nd.right.hi)], INPUT)
                      for nd in level_nodes]
-            graph.insert_task(lambda: None, acc(deps + [(hbar, OUTPUT)]),
-                              name="LevelBarrier")
+            ins(lambda: None, acc(deps + [(hbar, OUTPUT)]),
+                name="LevelBarrier", est=TaskCost())
             prev_level_barrier = hbar
+        if rec.enabled and level_nodes:
+            rec.observe("schedule.level_nb",
+                        float(opts.node_nb(level_nodes[0].n, n)))
         for node in level_nodes:
-            _submit_merge(graph, info, node, acc, prev_level_barrier)
+            _submit_merge(ins, info, node, acc, prev_level_barrier)
 
     # --- final ordering + scale back -------------------------------------
     hroot = info.hV[(tree.lo, tree.hi)]
     hsort = DataHandle("sort-order")
-    graph.insert_task(ctx.t_sort_join, acc([(hroot, INPUT), (hsort, OUTPUT)]),
-                      name="SortEigenvectors",
-                      cost=costs.cost_scale(n))
+    ins(ctx.t_sort_join, acc([(hroot, INPUT), (hsort, OUTPUT)]),
+        name="SortEigenvectors", est=costs.cost_scale(n))
     hVout = DataHandle("V-sorted")
-    for (p0, p1) in panel_ranges(n, opts.effective_nb(n)):
-        graph.insert_task(ctx.t_sort_panel,
-                          acc([(hsort, INPUT), (hroot, INPUT),
-                               (hVout, GATHERV)]),
-                          args=(p0, p1), name="SortEigenvectors",
-                          tag=("sort", p0),
-                          cost=costs.cost_sort(n, p1 - p0))
-    graph.insert_task(ctx.t_scale_back, acc([(hsort, INPUT), (hVout, INOUT)]),
-                      name="ScaleBack", cost=costs.cost_scale(n))
+    for (p0, p1) in panel_ranges(n, opts.node_nb(n, n)):
+        ins(ctx.t_sort_panel,
+            acc([(hsort, INPUT), (hroot, INPUT), (hVout, GATHERV)]),
+            args=(p0, p1), name="SortEigenvectors", tag=("sort", p0),
+            est=costs.cost_sort(n, p1 - p0))
+    ins(ctx.t_scale_back, acc([(hsort, INPUT), (hVout, INOUT)]),
+        name="ScaleBack", est=costs.cost_scale(n))
+
+    if estimates is not None:
+        _assign_blevels(graph, start, estimates, rec)
     return info
 
 
-def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
+def _assign_blevels(graph: TaskGraph, start: int,
+                    estimates: list[float], rec) -> None:
+    """One reverse sweep over the tasks submitted since ``start``:
+    ``bl[t] = est[t] + max(bl[successors])``, quantized to
+    ``_PRIORITY_QUANTUM`` so priorities of independently submitted
+    (later fused) problems compare as remaining-path seconds."""
+    t0 = time.perf_counter()
+    tasks = graph.tasks[start:]
+    bl = [0.0] * len(tasks)
+    for i in range(len(tasks) - 1, -1, -1):
+        t = tasks[i]
+        succ = 0.0
+        for s in t.successors:
+            # Successors of this submission slice stay inside it: edges
+            # point forward in seq and nothing later exists yet.
+            b = bl[s.seq - start]
+            if b > succ:
+                succ = b
+        bl[i] = estimates[i] + succ
+        t.priority = int(bl[i] / _PRIORITY_QUANTUM)
+    if rec.enabled and tasks:
+        rec.add("schedule.blevel_tasks", float(len(tasks)))
+        rec.add("schedule.blevel_s", time.perf_counter() - t0)
+        pr = [t.priority for t in tasks]
+        rec.gauge_max("schedule.priority_span", float(max(pr) - min(pr)))
+
+
+def _merge_estimates(node_n: int, npan: int, n_rot_groups: int,
+                     cal) -> dict[str, TaskCost]:
+    """Shape-only per-task cost estimates of one merge at the assumed
+    deflation ratio (see ``_EST_DEFLATION``)."""
+    d = _EST_DEFLATION
+    k = max(1, int(round((1.0 - d) * node_n)))
+    m = max(1, -(-node_n // npan))          # panel width (ceil)
+    mk = max(1, int(round((1.0 - d) * m)))  # non-deflated roots per panel
+    n1 = node_n - node_n // 2
+    return {
+        "ApplyGivens": costs.cost_apply_givens(
+            node_n, d * node_n / max(1, n_rot_groups)),
+        "PermuteV": costs.cost_permute((1.0 - d) * m * node_n),
+        "LAED4": costs.cost_laed4(k, mk, sweeps=cal.secular_sweeps),
+        "ComputeLocalW": costs.cost_local_w(k, mk),
+        "ReduceW": costs.cost_reduce_w(k, npan),
+        "CopyBackDeflated": costs.cost_copyback(d * m * node_n),
+        "ComputeVect": costs.cost_compute_vect(k, mk),
+        "UpdateVect": costs.cost_update_vect(n1, node_n - n1,
+                                             k - k // 2, k // 2, m),
+    }
+
+
+def _submit_merge(ins, info: DCGraphInfo, node: Node,
                   acc, level_barrier: Optional[DataHandle]) -> None:
     ctx = info.ctx
     opts = ctx.opts
@@ -138,7 +232,7 @@ def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
     hVws = DataHandle(f"Vws[{node.lo}:{node.hi}]")
     hW = DataHandle(f"W[{node.lo}:{node.hi}]")
     hcb = DataHandle(f"cbdone[{node.lo}:{node.hi}]")
-    panels = panel_ranges(node.n, opts.effective_nb(ctx.n))
+    panels = panel_ranges(node.n, opts.node_nb(node.n, ctx.n))
     npan = len(panels)
     hsec = [DataHandle(f"sec[{node.lo}:{node.hi}]p{i}") for i in range(npan)]
     hX = [DataHandle(f"X[{node.lo}:{node.hi}]p{i}") for i in range(npan)]
@@ -146,31 +240,34 @@ def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
 
     barrier_dep = [(level_barrier, INPUT)] if level_barrier is not None else []
 
-    graph.insert_task(st.t_compute_deflation,
-                      acc([(hL, INPUT), (hR, INPUT), (hdefl, OUTPUT)]
-                          + barrier_dep),
-                      name="Compute_deflation", tag=tag,
-                      cost=costs.cost_compute_deflation(node.n))
-
     # Deflating rotations: a fixed, small number of groups (keeps the DAG
     # matrix-independent and every panel task's dependency count O(1));
     # chains are distributed round-robin at execution time.
     n_rot_groups = min(npan, 4)
+    est = _merge_estimates(node.n, npan, n_rot_groups, get_calibration())
+
+    ins(st.t_compute_deflation,
+        acc([(hL, INPUT), (hR, INPUT), (hdefl, OUTPUT)] + barrier_dep),
+        name="Compute_deflation", tag=tag,
+        est=costs.cost_compute_deflation(node.n))
+
     for g in range(n_rot_groups):
-        graph.insert_task(st.t_apply_givens,
-                          acc([(hdefl, INPUT), (hL, GATHERV), (hR, GATHERV)]),
-                          args=(g, n_rot_groups), name="ApplyGivens", tag=tag,
-                          cost=(lambda s=st, g=g, m=n_rot_groups:
-                                costs.cost_apply_givens(
-                                    s.n, sum(len(c) for c in s.chains[g::m]))))
+        ins(st.t_apply_givens,
+            acc([(hdefl, INPUT), (hL, GATHERV), (hR, GATHERV)]),
+            args=(g, n_rot_groups), name="ApplyGivens", tag=tag,
+            est=est["ApplyGivens"],
+            cost=(lambda s=st, g=g, m=n_rot_groups:
+                  costs.cost_apply_givens(
+                      s.n, sum(len(c) for c in s.chains[g::m]))))
 
     for pid, (p0, p1) in enumerate(panels):
-        graph.insert_task(st.t_permute_panel,
-                          acc([(hdefl, INPUT), (hL, INPUT), (hR, INPUT),
-                               (hVws, GATHERV)]),
-                          args=(p0, p1), name="PermuteV", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_permute(s.permute_rows_moved(a, b))))
+        ins(st.t_permute_panel,
+            acc([(hdefl, INPUT), (hL, INPUT), (hR, INPUT),
+                 (hVws, GATHERV)]),
+            args=(p0, p1), name="PermuteV", tag=tag,
+            est=est["PermuteV"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_permute(s.permute_rows_moved(a, b))))
 
     for pid, (p0, p1) in enumerate(panels):
         laed4_acc = [(hdefl, INPUT), (hsec[pid], OUTPUT)]
@@ -179,28 +276,30 @@ def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
             # (submission order puts every PermuteV before the first
             # LAED4, so this INPUT closes the whole GATHERV group).
             laed4_acc.append((hVws, INPUT))
-        graph.insert_task(st.t_laed4_panel, acc(laed4_acc),
-                          args=(p0, p1), name="LAED4", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_laed4(s.k, s.clip_roots(a, b).size)))
-        graph.insert_task(st.t_local_w_panel,
-                          acc([(hdefl, INPUT), (hsec[pid], INPUT),
-                               (hW, GATHERV)]),
-                          args=(p0, p1, pid), name="ComputeLocalW", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_local_w(s.k, s.clip_roots(a, b).size)))
+        ins(st.t_laed4_panel, acc(laed4_acc),
+            args=(p0, p1), name="LAED4", tag=tag,
+            est=est["LAED4"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_laed4(s.k, s.clip_roots(a, b).size)))
+        ins(st.t_local_w_panel,
+            acc([(hdefl, INPUT), (hsec[pid], INPUT), (hW, GATHERV)]),
+            args=(p0, p1, pid), name="ComputeLocalW", tag=tag,
+            est=est["ComputeLocalW"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_local_w(s.k, s.clip_roots(a, b).size)))
 
-    graph.insert_task(st.t_reduce_w, acc([(hdefl, INPUT), (hW, INOUT)]),
-                      name="ReduceW", tag=tag,
-                      cost=(lambda s=st, m=npan: costs.cost_reduce_w(s.k, m)))
+    ins(st.t_reduce_w, acc([(hdefl, INPUT), (hW, INOUT)]),
+        name="ReduceW", tag=tag, est=est["ReduceW"],
+        cost=(lambda s=st, m=npan: costs.cost_reduce_w(s.k, m)))
 
     for pid, (p0, p1) in enumerate(panels):
-        graph.insert_task(st.t_copyback_panel,
-                          acc([(hdefl, INPUT), (hVws, INPUT),
-                               (hV, GATHERV), (hcb, GATHERV)]),
-                          args=(p0, p1), name="CopyBackDeflated", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_copyback(s.copyback_rows_moved(a, b))))
+        ins(st.t_copyback_panel,
+            acc([(hdefl, INPUT), (hVws, INPUT),
+                 (hV, GATHERV), (hcb, GATHERV)]),
+            args=(p0, p1), name="CopyBackDeflated", tag=tag,
+            est=est["CopyBackDeflated"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_copyback(s.copyback_rows_moved(a, b))))
 
     for pid, (p0, p1) in enumerate(panels):
         cv_acc = [(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
@@ -208,19 +307,21 @@ def _submit_merge(graph: TaskGraph, info: DCGraphInfo, node: Node,
         if not opts.extra_workspace:
             # ComputeVect waits for every copy-back to free the buffer.
             cv_acc.append((hcb, INPUT))
-        graph.insert_task(st.t_compute_vect_panel, acc(cv_acc),
-                          args=(p0, p1), name="ComputeVect", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_compute_vect(s.k, s.clip_roots(a, b).size)))
+        ins(st.t_compute_vect_panel, acc(cv_acc),
+            args=(p0, p1), name="ComputeVect", tag=tag,
+            est=est["ComputeVect"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_compute_vect(s.k, s.clip_roots(a, b).size)))
 
     # UpdateVect panels are submitted as one contiguous group so that in
     # fork/join mode they form a single GATHERV group on the serial token
     # (the parallel-BLAS region); dependencies order them anyway.
     for pid, (p0, p1) in enumerate(panels):
-        graph.insert_task(st.t_update_vect_panel,
-                          acc([(hdefl, INPUT), (hVws, INPUT),
-                               (hX[pid], INPUT), (hV, GATHERV)],
-                              parallel=True),
-                          args=(p0, p1), name="UpdateVect", tag=tag,
-                          cost=(lambda s=st, a=p0, b=p1:
-                                costs.cost_update_vect(*s.update_vect_shape(a, b))))
+        ins(st.t_update_vect_panel,
+            acc([(hdefl, INPUT), (hVws, INPUT),
+                 (hX[pid], INPUT), (hV, GATHERV)],
+                parallel=True),
+            args=(p0, p1), name="UpdateVect", tag=tag,
+            est=est["UpdateVect"],
+            cost=(lambda s=st, a=p0, b=p1:
+                  costs.cost_update_vect(*s.update_vect_shape(a, b))))

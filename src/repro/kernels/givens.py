@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -45,41 +46,60 @@ def rot(x: np.ndarray, y: np.ndarray, c: float, s: float) -> None:
     x[...] = tmp
 
 
-def apply_rotation_chains(V: np.ndarray, lo: int, hi: int, chains) -> None:
-    """Apply several disjoint rotation chains to columns of ``V[lo:hi]``.
+#: Minimum number of chains for the batched path to pay for its
+#: gather/scatter machinery.
+_MIN_BATCH_CHAINS = 8
 
-    Chains (see :func:`repro.kernels.deflation.rotation_chains`) touch
-    pairwise-disjoint column sets, so the ``r``-th rotations of all chains
-    commute and can be applied together as one vectorized "round": gather
-    the ``i``/``j`` columns of every chain still active at round ``r``,
-    combine, and scatter back.  This turns ``sum(len(chain))`` BLAS-1
-    column updates into ``max(len(chain))`` matrix-panel operations.
+#: Cached batched-vs-streaming crossover height (columns taller than
+#: this stream; shorter ones batch).  Resolved lazily from the active
+#: :mod:`repro.core.calibrate` calibration; ``set_calibration`` resets it.
+_crossover: Optional[int] = None
 
-    Rounding matches the per-rotation reference ``rot``: the deflated
-    column is ``(c*q_i) + (s*q_j)`` and the survivor ``(c*q_j) - (s*q_i)``
-    element by element (IEEE multiplication is commutative, so
-    ``q_i*c == c*q_i``), so results are bitwise identical to applying the
-    rotations one at a time.
+
+def _reset_crossover_cache() -> None:
+    global _crossover
+    _crossover = None
+
+
+def _crossover_height() -> int:
+    global _crossover
+    if _crossover is None:
+        from ..core.calibrate import get_calibration
+        _crossover = get_calibration().givens_crossover
+    return _crossover
+
+
+def _apply_streaming(V: np.ndarray, lo: int, hi: int, chains) -> None:
+    """Per-rotation streaming path: tall columns stay cache-resident.
+
+    Works on rows of ``V.T`` (columns of F-ordered ``V``) with two
+    preallocated scratch rows, so the inner loop allocates nothing.
+    The element-wise expressions match :func:`rot` exactly:
+    ``q_i' = (c*q_i) + (s*q_j)`` and ``q_j' = (c*q_j) - (s*q_i)``.
     """
-    chains = [c for c in chains if c]
-    if not chains:
-        return
-    VT = V.T        # F-ordered V: VT is C-ordered, columns become rows
-    if len(chains) < 8 or hi - lo > 512:
-        # Rounds only pay when many short columns amortize the
-        # gather/scatter machinery; tall columns stay cache-resident in
-        # the streaming loop while a round's gathered panels do not.
-        # Stream each chain with scalar rotations instead (same
-        # element-wise expressions, so still bitwise identical).
-        for chain in chains:
-            for rt in chain:
-                qi = VT[lo + rt.i, lo:hi]
-                qj = VT[lo + rt.j, lo:hi]
-                tmp = qi * rt.c + qj * rt.s
-                qj *= rt.c
-                qj -= rt.s * qi
-                qi[...] = tmp
-        return
+    VT = V.T
+    tmp = np.empty(hi - lo)
+    sqi = np.empty(hi - lo)
+    for chain in chains:
+        for rt in chain:
+            qi = VT[lo + rt.i, lo:hi]
+            qj = VT[lo + rt.j, lo:hi]
+            np.multiply(qi, rt.c, out=tmp)
+            np.multiply(qj, rt.s, out=sqi)
+            tmp += sqi                       # q_i' = c*q_i + s*q_j
+            np.multiply(qi, rt.s, out=sqi)   # s * original q_i
+            qj *= rt.c
+            qj -= sqi                        # q_j' = c*q_j - s*q_i
+            qi[...] = tmp
+
+
+def _apply_batched(V: np.ndarray, lo: int, hi: int, chains) -> None:
+    """Vectorized rounds: the ``r``-th rotations of all chains commute
+    (disjoint column sets), so gather the ``i``/``j`` columns of every
+    chain still active at round ``r``, combine, and scatter back.  This
+    turns ``sum(len(chain))`` BLAS-1 column updates into
+    ``max(len(chain))`` matrix-panel operations."""
+    VT = V.T
     max_len = max(len(c) for c in chains)
     for r in range(max_len):
         rots = [c[r] for c in chains if len(c) > r]
@@ -92,3 +112,32 @@ def apply_rotation_chains(V: np.ndarray, lo: int, hi: int, chains) -> None:
         Qj = VT[jj, lo:hi]
         VT[ii, lo:hi] = Qi * cc + Qj * ss    # deflated columns
         VT[jj, lo:hi] = Qj * cc - Qi * ss    # surviving columns
+
+
+def apply_rotation_chains(V: np.ndarray, lo: int, hi: int, chains) -> None:
+    """Apply several disjoint rotation chains to columns of ``V[lo:hi]``.
+
+    Chains (see :func:`repro.kernels.deflation.rotation_chains`) touch
+    pairwise-disjoint column sets.  Two execution strategies, both
+    bitwise identical to applying the rotations one at a time with
+    :func:`rot` (IEEE multiplication is commutative, and the add/sub
+    order per element is the same):
+
+    * ``_apply_streaming`` — per-rotation loop over column views; wins
+      for tall columns, which stay cache-resident while a batched
+      round's gathered panels do not.
+    * ``_apply_batched`` — vectorized rounds across chains; wins when
+      many short columns amortize the gather/scatter machinery.
+
+    The choice is the calibrated crossover height
+    (``Calibration.givens_crossover``): batch only when there are at
+    least ``_MIN_BATCH_CHAINS`` chains *and* the block height ``hi - lo``
+    is at or below the crossover.
+    """
+    chains = [c for c in chains if c]
+    if not chains:
+        return
+    if len(chains) < _MIN_BATCH_CHAINS or hi - lo > _crossover_height():
+        _apply_streaming(V, lo, hi, chains)
+    else:
+        _apply_batched(V, lo, hi, chains)

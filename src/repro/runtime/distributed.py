@@ -158,7 +158,7 @@ class ClusterMachine:
             end, start, task, worker, node = running.pop(0)
             now = end
             trace.record(TraceEvent(task.uid, task.name, worker,
-                                    start, end, task.tag))
+                                    start, end, task.tag, task.priority))
             free[node].append(worker)
             for s in task.successors:
                 pending[s.uid] -= 1

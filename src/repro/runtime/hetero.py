@@ -156,7 +156,7 @@ class HeteroMachine:
             end, start, task, worker = running.pop(0)
             now = end
             trace.record(TraceEvent(task.uid, task.name, worker,
-                                    start, end, task.tag))
+                                    start, end, task.tag, task.priority))
             if worker < n_cpu:
                 free_cpu.append(worker)
             else:

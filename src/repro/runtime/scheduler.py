@@ -91,7 +91,8 @@ class SequentialScheduler:
                 raise wrap_task_error(task, exc) from exc
             task.mark_done()
             b = time.perf_counter() - t0
-            trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag))
+            trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag,
+                                    task.priority))
         if rec is not None and rec.enabled:
             rec.add("scheduler.tasks", len(graph.tasks))
         self.trace = trace
@@ -255,7 +256,7 @@ class ThreadScheduler:
                 b = time.perf_counter() - t0
                 task.mark_done()
                 events.append(TraceEvent(task.uid, task.name, wid,
-                                         a, b, task.tag))
+                                         a, b, task.tag, task.priority))
 
                 made_ready = 0
                 if st is not None:
@@ -576,7 +577,8 @@ class WorkerPool:
             b = time.perf_counter()
             task.mark_done()
             run.events.append(TraceEvent(task.uid, task.name, wid,
-                                         a - run.t0, b - run.t0, task.tag))
+                                         a - run.t0, b - run.t0, task.tag,
+                                         task.priority))
 
             made_ready = 0
             if not run.failed:

@@ -255,7 +255,8 @@ class SimulatedMachine:
             running = still
             for r in finished:
                 trace.record(TraceEvent(r.task.uid, r.task.name, r.worker,
-                                        r.t_start, now, r.task.tag))
+                                        r.t_start, now, r.task.tag,
+                                        r.task.priority))
                 free_workers.append(r.worker)
                 for s in r.task.successors:
                     pending[s.uid] -= 1

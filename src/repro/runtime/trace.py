@@ -28,6 +28,10 @@ class TraceEvent:
     t_start: float
     t_end: float
     tag: Any = None
+    #: Scheduling priority the task ran with (b-level quantum units;
+    #: 0 when priorities are off) — annotated into trace exports so
+    #: Perfetto studies can color by criticality.
+    priority: int = 0
 
     @property
     def duration(self) -> float:
@@ -180,7 +184,8 @@ class Trace:
                 "dur": max(e.duration * 1e6, 0.01),
                 "pid": 0,
                 "tid": e.worker,
-                "args": {"task": e.task_uid, "tag": repr(e.tag)},
+                "args": {"task": e.task_uid, "tag": repr(e.tag),
+                         "priority": e.priority},
             })
         return events
 
