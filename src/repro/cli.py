@@ -10,6 +10,11 @@ Subcommands
              summary, and optionally dump the JSONL event log, the
              Perfetto/Chrome trace and a Prometheus snapshot
              (``--out DIR``); see docs/OBSERVABILITY.md.
+``serve``  — run a persistent :class:`SolverSession` as a service with
+             live observability endpoints (``/metrics``, ``/healthz``,
+             ``/debug/state``, debug ``/solve``) on a stdlib HTTP
+             server; optional sampling profiler and post-mortem bundle
+             directory.
 ``info``   — list the Table III matrix types.
 """
 
@@ -101,23 +106,44 @@ def _build_parser() -> argparse.ArgumentParser:
                         "summary.txt and telemetry.prom into DIR")
     t.add_argument("--seed", type=int, default=0)
 
+    q = sub.add_parser("serve",
+                       help="persistent solver service with /metrics, "
+                            "/healthz and /debug/state endpoints")
+    q.add_argument("--port", type=int, default=9100,
+                   help="HTTP port (0 = ephemeral; printed on startup)")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--backend", default="threads",
+                   choices=["sequential", "threads", "simulated"])
+    q.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: one per core)")
+    q.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve before exiting "
+                        "(0 = until interrupted)")
+    q.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                   help="dump JSONL post-mortem bundles of failed solves "
+                        "into DIR (also via REPRO_POSTMORTEM_DIR)")
+    q.add_argument("--profile-interval", type=float, default=None,
+                   metavar="SEC",
+                   help="enable the task-attributed sampling profiler at "
+                        "this period, e.g. 0.004")
+    q.add_argument("--warm", type=int, default=0, metavar="N",
+                   help="run one warm-up solve of size N before serving")
+
     sub.add_parser("info", help="list Table III matrix types")
     return p
 
 
-def _percentile(sorted_vals: list[float], q: float) -> float:
-    """Nearest-rank percentile of a pre-sorted sample."""
-    i = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
-    return sorted_vals[i]
-
-
 def _latency_line(latencies: list[float]) -> str:
-    s = sorted(latencies)
-    mean = sum(s) / len(s)
-    return (f"p50={_percentile(s, 0.50) * 1e3:.2f}ms  "
-            f"p90={_percentile(s, 0.90) * 1e3:.2f}ms  "
-            f"p99={_percentile(s, 0.99) * 1e3:.2f}ms  "
-            f"(mean {mean * 1e3:.2f}ms)")
+    """Latency percentiles via the streaming digest (constant memory —
+    --repeat counts can be arbitrarily large)."""
+    from .obs import Digest
+    dg = Digest()
+    dg.add_many(latencies)
+    st = dg.stats()
+    return (f"p50={st['p50'] * 1e3:.2f}ms  "
+            f"p90={st['p90'] * 1e3:.2f}ms  "
+            f"p99={st['p99'] * 1e3:.2f}ms  "
+            f"(mean {st['mean'] * 1e3:.2f}ms)")
 
 
 def _cmd_solve(args) -> int:
@@ -243,6 +269,36 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from . import SolverSession
+    from .core import DCOptions
+
+    opts = DCOptions(postmortem_dir=args.postmortem_dir)
+    session = SolverSession(backend=args.backend, n_workers=args.workers,
+                            options=opts, serve_port=args.port,
+                            serve_host=args.host,
+                            profile_interval_s=args.profile_interval)
+    try:
+        print(f"serving {args.backend} session "
+              f"({session.n_workers} workers) on {session.server.address}"
+              f"  [/metrics /healthz /debug/state /solve]", flush=True)
+        if args.warm > 0:
+            from .matrices import test_matrix
+            d, e = test_matrix(4, args.warm, seed=0)
+            session.solve(d, e)
+            print(f"warm-up solve n={args.warm} done", flush=True)
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.close()
+    return 0
+
+
 def _cmd_svd(args) -> int:
     from .core.svd import svd
 
@@ -279,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.cmd == "trace":
         return _cmd_trace(args)
+    if args.cmd == "serve":
+        return _cmd_serve(args)
     if args.cmd == "svd":
         return _cmd_svd(args)
     if args.cmd == "workspace":

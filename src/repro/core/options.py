@@ -95,6 +95,15 @@ class DCOptions:
         part of the DAG shape, and panel boundaries carry last-ulp
         differences, so it must be an explicit knob for results to stay
         bitwise identical across backends.
+    ``postmortem_dir``
+        Directory for automatic crash bundles.  When set (or when the
+        ``REPRO_POSTMORTEM_DIR`` environment variable is), a session
+        solve that fails (``TaskFailure``/``ConvergenceError``/...) or
+        degrades to the STEQR fallback dumps a JSONL post-mortem — the
+        flight recorder's recent events, this options record, the fault
+        spec, the calibration key, and pool/workspace stats — via
+        :func:`repro.obs.live.write_postmortem`.  ``None`` (default)
+        writes nothing; numerics are unaffected either way.
     """
 
     minpart: int = 64
@@ -109,6 +118,7 @@ class DCOptions:
     priority_mode: str = "blevel"
     adaptive_nb: bool = False
     target_parallelism: int | None = None
+    postmortem_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.minpart < 1:

@@ -35,6 +35,8 @@ import numpy as np
 
 from ..errors import (InputError, ReproError, SchedulerError,
                       validate_subset, validate_tridiagonal)
+from ..obs.live import (FlightRecorder, SessionMetrics,
+                        resolve_postmortem_dir, write_postmortem)
 from ..obs.recorder import NULL_RECORDER
 from ..runtime.dag import TaskGraph
 from ..runtime.faults import FaultInjector
@@ -261,6 +263,22 @@ class SolverSession:
         ``submit`` calls block until a slot frees.  Caps the live
         workspace footprint at ``max_inflight × 3n²`` doubles.
         Default: ``max(2, min(8, n_workers))``.
+    flight:
+        The always-on :class:`~repro.obs.live.FlightRecorder`: a bounded
+        ring of recent task events dumped as a post-mortem bundle when a
+        solve fails (see ``DCOptions.postmortem_dir``).  ``True``
+        (default) builds one; pass a recorder to share it across
+        sessions, or ``False`` to strip even the ring append from the
+        task path.
+    serve_port / serve_host:
+        When ``serve_port`` is not None, start a background
+        :class:`~repro.obs.live.MetricsServer` exposing ``/metrics``,
+        ``/healthz`` and ``/debug/state`` (``0`` binds an ephemeral
+        port; read it from ``session.server.port``).
+    profile_interval_s:
+        When set, attach a task-attributed
+        :class:`~repro.obs.profile.SamplingProfiler` to the worker pool
+        at this sampling period (threads backend only; opt-in).
 
     Use as a context manager, or call :meth:`close` explicitly.
     """
@@ -271,6 +289,10 @@ class SolverSession:
                  options: Optional[DCOptions] = None,
                  workspace_pool: bool = True,
                  max_inflight: Optional[int] = None,
+                 flight=True,
+                 serve_port: Optional[int] = None,
+                 serve_host: str = "127.0.0.1",
+                 profile_interval_s: Optional[float] = None,
                  _one_shot: bool = False):
         if backend not in ("sequential", "threads", "simulated"):
             raise InputError(f"unknown backend {backend!r}")
@@ -300,6 +322,18 @@ class SolverSession:
         self.max_inflight = max_inflight
         self._slots = threading.BoundedSemaphore(max_inflight) \
             if self._persistent else None
+        #: Always-on service observability (zero solver-numerics impact).
+        self.metrics = SessionMetrics()
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder() if flight is True
+            else (flight if flight else None))
+        self._profile_interval = profile_interval_s
+        self.profiler = None
+        self.server = None
+        if serve_port is not None:
+            from ..obs.live import MetricsServer
+            self.server = MetricsServer(self, port=serve_port,
+                                        host=serve_host)
 
     # -- public API ------------------------------------------------------
     def submit(self, d, e, *, subset=None, full_result: bool = False,
@@ -369,6 +403,12 @@ class SolverSession:
             out["workspace"] = self._workspace.stats()
         if self._pool is not None:
             out["runs_completed"] = self._pool.runs_completed
+            out["pool"] = {"workers_alive": self._pool.workers_alive,
+                           "workers_parked": self._pool.parked,
+                           "inflight_runs": len(self._pool._active)}
+        out["metrics"] = self.metrics.to_dict()
+        if self.flight is not None:
+            out["flight"] = self.flight.occupancy()
         return out
 
     def close(self, wait: bool = True) -> None:
@@ -400,8 +440,14 @@ class SolverSession:
                     run = h._run
                 if run is not None:
                     run.wait()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._pool is not None:
             self._pool.shutdown()
+        if self.server is not None:
+            self.server.close()
+        if self.flight is not None:
+            self.flight.record("session.close", self.backend)
 
     def __enter__(self) -> "SolverSession":
         return self
@@ -425,6 +471,43 @@ class SolverSession:
             info = submit_dc(graph, ctx, tree)
             return graph, info
 
+    def _finish_solve(self, handle: SolveHandle, ctx: Optional[DCContext],
+                      opts: DCOptions, error: Optional[BaseException],
+                      n_tasks: int) -> None:
+        """Post-solve bookkeeping, shared by every execution path: feed
+        the session digests/counters, note the outcome in the flight
+        ring, and dump a post-mortem bundle when the solve failed or
+        degraded to the STEQR fallback (and a bundle directory is
+        configured).  Never raises — runs on pool completion hooks."""
+        try:
+            merge_stats = ctx.merge_stats if ctx is not None else []
+        except Exception:
+            merge_stats = []
+        self.metrics.note_solve(handle.latency_s, merge_stats,
+                                failed=error is not None, n_tasks=n_tasks)
+        fallback = any(s.fallback for s in merge_stats)
+        if self.flight is not None:
+            self.flight.record("solve.fail" if error is not None
+                               else "solve.done", self.backend,
+                               detail=(f"{type(error).__name__}: {error}"
+                                       if error is not None else
+                                       ("steqr-fallback" if fallback
+                                        else "")))
+        if error is None and not fallback:
+            return
+        directory = resolve_postmortem_dir(opts)
+        if directory is None:
+            return
+        try:
+            write_postmortem(
+                directory,
+                reason="solve-failure" if error is not None
+                       else "steqr-fallback",
+                error=error, options=opts, flight=self.flight,
+                session_stats=self.stats(), metrics=self.metrics)
+        except OSError:
+            pass        # an unwritable crash dir must not mask the solve
+
     def _solve_n1(self, d, e, subset, full_result, opts) -> SolveHandle:
         # The 1x1 fast path honours `subset` like the general path.
         lam = d.copy() if subset is None else d[subset]
@@ -440,6 +523,7 @@ class SolverSession:
             h._value = (lam, V)
         h._has_value = True
         h.t_done = time.perf_counter()
+        self.metrics.note_solve(h.latency_s)
         return h
 
     def _submit_inline(self, d, e, subset, full_result, opts) -> SolveHandle:
@@ -451,18 +535,21 @@ class SolverSession:
         handle = SolveHandle(full=full_result)
         ctx = None
         info = None
+        n_tasks = 0
         try:
             with obs.span("solve", n=n, backend=self.backend):
                 ctx = DCContext(d, e, opts, subset=subset,
                                 workspace=self._workspace)
                 quark = Quark(self.backend, n_workers=self.n_workers,
                               machine=self.machine, recorder=opts.telemetry,
-                              fault_injection=opts.fault_injection)
+                              fault_injection=opts.fault_injection,
+                              flight=self.flight)
                 graph, info = self._instantiate(ctx, opts, obs)
                 quark.graph = graph
+                n_tasks = len(graph.tasks)
                 if obs.enabled:
                     obs.add("solve.count")
-                    obs.add("solve.tasks_submitted", len(graph.tasks))
+                    obs.add("solve.tasks_submitted", n_tasks)
                 with obs.span("execute"):
                     trace = quark.barrier()
                 with obs.span("finalize"):
@@ -481,6 +568,7 @@ class SolverSession:
                     keep_result=False)
             handle._error = exc
         handle.t_done = time.perf_counter()
+        self._finish_solve(handle, ctx, opts, handle._error, n_tasks)
         return handle
 
     def _submit_pool(self, d, e, subset, full_result, opts) -> SolveHandle:
@@ -503,13 +591,16 @@ class SolverSession:
             # always unblocks.
             self._slots.acquire()
 
-            def _on_done(run, h=handle):
+            def _on_done(run, h=handle, o=opts):
                 h._ctx.release_workspace(h._info.states.values(),
                                          keep_result=not run.failed)
                 h.t_done = time.perf_counter()
                 with self._lock:
                     self._outstanding.discard(h)
                 self._slots.release()
+                self._finish_solve(h, h._ctx, o,
+                                   run.errors[0] if run.failed else None,
+                                   run.n_executed)
 
             try:
                 with self._lock:
@@ -520,7 +611,13 @@ class SolverSession:
                         raise SchedulerError("session is closed")
                     if self._pool is None:
                         self._pool = WorkerPool(self.n_workers,
-                                                recorder=opts.telemetry)
+                                                recorder=opts.telemetry,
+                                                flight=self.flight)
+                        if self._profile_interval is not None:
+                            from ..obs.profile import SamplingProfiler
+                            self.profiler = SamplingProfiler(
+                                self._pool, self._profile_interval,
+                                metrics=self.metrics).start()
                     pool = self._pool
                     self._outstanding.add(handle)
                 handle._run = pool.submit(graph, recorder=opts.telemetry,

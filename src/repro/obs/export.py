@@ -24,13 +24,15 @@ telemetry (:class:`~repro.obs.recorder.Collector` + the scheduler's
 from __future__ import annotations
 
 import json
+import re
 from typing import IO, Optional
 
 from ..runtime.trace import Trace
 from .recorder import Collector
 
 __all__ = ["write_jsonl", "chrome_trace", "prometheus_text",
-           "telemetry_summary", "telemetry_block", "merge_spans_from_trace"]
+           "telemetry_summary", "telemetry_block", "merge_spans_from_trace",
+           "prom_name", "prom_label_value"]
 
 #: Merge-kernel names whose events carry a ``(lo, hi)`` merge tag.
 _MERGE_KERNELS = frozenset({
@@ -164,9 +166,12 @@ def write_jsonl(fh: IO[str], collector: Optional[Collector],
             emit({"type": "counter", "name": name, "value": value})
         for name, value in sorted(collector.gauges.items()):
             emit({"type": "gauge", "name": name, "value": value})
-        for name in sorted(collector.hists):
-            emit({"type": "hist", "name": name,
-                  **(collector.hist_stats(name) or {})})
+        for name in collector.hist_names():
+            line = {"type": "hist", "name": name,
+                    **(collector.hist_stats(name) or {})}
+            if name in collector.digests:
+                line["digest"] = True
+            emit(line)
         for (name, track), pairs in sorted(collector.series.items()):
             for t, v in pairs:
                 emit({"type": "sample", "name": name, "track": track,
@@ -176,8 +181,22 @@ def write_jsonl(fh: IO[str], collector: Optional[Collector],
     return n
 
 
-def _prom_name(name: str) -> str:
-    return "repro_" + name.replace(".", "_").replace("-", "_")
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a metric name per the Prometheus exposition format:
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Every illegal character (``.``, ``-``,
+    spaces, quotes, ...) maps to ``_``; a leading digit gets the same
+    treatment via the ``repro_`` prefix."""
+    return "repro_" + _PROM_BAD_CHARS.sub("_", name)
+
+
+def prom_label_value(value: str) -> str:
+    r"""Escape a label value: ``\`` → ``\\``, ``"`` → ``\"``, newline →
+    ``\n`` (the three escapes the exposition format defines)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def prometheus_text(collector: Collector,
@@ -185,19 +204,20 @@ def prometheus_text(collector: Collector,
     """Prometheus text-format snapshot of the collected metrics."""
     lines: list[str] = []
     for name, value in sorted(collector.counters.items()):
-        pn = _prom_name(name) + "_total"
+        pn = prom_name(name) + "_total"
         lines += [f"# TYPE {pn} counter", f"{pn} {value:.17g}"]
     for name, value in sorted(collector.gauges.items()):
-        pn = _prom_name(name)
+        pn = prom_name(name)
         lines += [f"# TYPE {pn} gauge", f"{pn} {value:.17g}"]
-    for name in sorted(collector.hists):
+    for name in collector.hist_names():
         st = collector.hist_stats(name)
-        pn = _prom_name(name)
+        pn = prom_name(name)
         lines += [f"# TYPE {pn} summary",
                   f"{pn}_count {st['count']}",
                   f"{pn}_sum {st['sum']:.17g}",
                   f'{pn}{{quantile="0.5"}} {st["p50"]:.17g}',
-                  f'{pn}{{quantile="0.9"}} {st["p90"]:.17g}']
+                  f'{pn}{{quantile="0.9"}} {st["p90"]:.17g}',
+                  f'{pn}{{quantile="0.99"}} {st["p99"]:.17g}']
     if trace is not None:
         lines += ["# TYPE repro_trace_makespan_seconds gauge",
                   f"repro_trace_makespan_seconds {trace.makespan:.17g}",
@@ -260,12 +280,20 @@ def _fmt_stats(st: Optional[dict]) -> str:
 
 
 def telemetry_summary(collector: Optional[Collector],
-                      trace: Optional[Trace] = None) -> str:
-    """Human-readable report: scheduler, cache and numeric health."""
+                      trace: Optional[Trace] = None,
+                      profile=None) -> str:
+    """Human-readable report: scheduler, cache and numeric health.
+
+    ``profile`` optionally appends a
+    :class:`~repro.obs.profile.SamplingProfiler` section (top kernels by
+    sample count and the attributed fraction).
+    """
     rows: list[str] = []
     if trace is not None:
         rows.append(trace.summary())
     if collector is None:
+        if profile is not None:
+            rows.append(profile.summary())
         return "\n".join(rows)
     c = collector.counters
     attempts = c.get("scheduler.steal.attempts", 0.0)
@@ -314,4 +342,6 @@ def telemetry_summary(collector: Optional[Collector],
         rows.append("solve phases (wall):")
         for name, d in sorted(durs.items(), key=lambda kv: -kv[1]):
             rows.append(f"  {name:<16s} : {d:.6g} s")
+    if profile is not None:
+        rows.append(profile.summary())
     return "\n".join(rows)

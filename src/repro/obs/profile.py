@@ -1,0 +1,222 @@
+"""Task-attributed wall-clock sampling profiler.
+
+The schedulers already know, at every instant, which task each worker is
+executing (:meth:`ThreadScheduler.current_tasks` /
+:meth:`WorkerPool.current_tasks` — a per-worker slot written on task
+start and cleared on completion).  :class:`SamplingProfiler` turns that
+into a profile the way ``perf`` does: a sampler thread wakes at a fixed
+interval, reads every worker's slot, and bumps a counter keyed by the
+task's kernel name and merge tag.  Workers pay nothing — no
+instrumentation runs on the task path; the only cost is the sampler
+thread itself (one list read per worker per tick).
+
+Samples export two ways:
+
+* :meth:`collapsed` — collapsed-stack text for flamegraph tooling
+  (``flamegraph.pl``, speedscope, inferno): one line per distinct stack,
+  ``solve;level0;merge[0:800];UpdateVect 172``, where the merge frames
+  are reconstructed from the task tags' ``(lo, hi)`` containment exactly
+  like the Chrome-trace merge hierarchy.
+* :meth:`summary` / :meth:`summary_dict` — the top-kernels table
+  embedded in ``telemetry_summary`` and ``/debug/state``.
+
+The profiler is opt-in (``SolverSession(profile_interval_s=...)`` or
+``repro-eig serve --profile-interval``); when off, nothing here runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Optional
+
+__all__ = ["SamplingProfiler"]
+
+
+def _span_tag(tag) -> Optional[tuple]:
+    """The tag if it is a merge span — an ``(lo, hi)`` integer pair.
+    Other tags (e.g. ``('sort', seq)`` bookkeeping tuples) fold into the
+    flat ``solve;kernel`` stack."""
+    if (isinstance(tag, tuple) and len(tag) == 2
+            and all(hasattr(v, "__index__") for v in tag)):
+        return (int(tag[0]), int(tag[1]))
+    return None
+
+
+class SamplingProfiler:
+    """Wall-clock sampler over a scheduler's current-task slots.
+
+    ``source``
+        Anything with ``current_tasks() -> list[task | None]`` (one
+        entry per worker; ``None`` = idle) — a live
+        :class:`~repro.runtime.scheduler.WorkerPool` or
+        :class:`~repro.runtime.scheduler.ThreadScheduler`.  An optional
+        ``queue_depths() -> list[int]`` feeds the queue-depth digest.
+    ``interval_s``
+        Sampling period (wall clock).  4 ms default ≈ 250 Hz.
+    ``metrics``
+        Optional :class:`~repro.obs.live.SessionMetrics`; each tick adds
+        one total-ready-queue-depth sample to its ``queue_depth`` digest.
+    """
+
+    def __init__(self, source, interval_s: float = 0.004,
+                 metrics=None) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be > 0")
+        self.source = source
+        self.interval_s = float(interval_s)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        #: (kernel name, merge tag or None) -> sample count.
+        self.samples: Counter = Counter()
+        self.idle_samples = 0
+        self.n_samples = 0      # worker-slot observations, total
+        self.n_ticks = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling --------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def sample_once(self) -> None:
+        """One tick: read every worker slot (callable directly in tests)."""
+        try:
+            tasks = self.source.current_tasks()
+        except Exception:
+            return          # source shutting down under us: skip the tick
+        hits: list[tuple[str, Optional[tuple]]] = []
+        idle = 0
+        for t in tasks:
+            if t is None:
+                idle += 1
+            else:
+                hits.append((t.name, _span_tag(t.tag)))
+        depth = None
+        depths = getattr(self.source, "queue_depths", None)
+        if depths is not None:
+            try:
+                depth = sum(depths())
+            except Exception:
+                depth = None
+        with self._lock:
+            self.n_ticks += 1
+            self.n_samples += len(tasks)
+            self.idle_samples += idle
+            for key in hits:
+                self.samples[key] += 1
+        if depth is not None and self.metrics is not None:
+            self.metrics.note_queue_depth(depth)
+
+    # -- reading ---------------------------------------------------------
+    def kernel_counts(self) -> dict[str, int]:
+        """Kernel name -> sample count (merge tags folded together)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for (name, _tag), cnt in self.samples.items():
+                out[name] = out.get(name, 0) + cnt
+        return out
+
+    @property
+    def busy_samples(self) -> int:
+        return self.n_samples - self.idle_samples
+
+    @property
+    def attributed_fraction(self) -> Optional[float]:
+        """Fraction of non-idle samples attributed to a named task.
+
+        By construction every non-idle slot observation carries the
+        task's kernel name, so this is 1.0 unless a slot read raced a
+        nameless placeholder; ``None`` until anything was sampled.
+        """
+        busy = self.busy_samples
+        if busy <= 0:
+            return None
+        with self._lock:
+            named = sum(cnt for (name, _), cnt in self.samples.items()
+                        if name)
+        return named / busy
+
+    def collapsed(self) -> str:
+        """Collapsed-stack export (``frame;frame;frame count`` lines).
+
+        Merge-tagged samples get the synthetic stack ``solve; level{L};
+        merge[lo:hi]; kernel`` with ``L`` the containment depth of the
+        tag among all sampled tags (root merge = level 0, matching
+        ``merge_spans_from_trace``); untagged kernels collapse to
+        ``solve;kernel``.  Lines are sorted for determinism.
+        """
+        with self._lock:
+            items = list(self.samples.items())
+        tags = sorted({tag for (_name, tag), _cnt in items
+                       if tag is not None},
+                      key=lambda s: (s[1] - s[0], s[0]))
+        level = {tag: sum(1 for t2 in tags
+                          if t2[0] <= tag[0] and tag[1] <= t2[1]
+                          and t2 != tag)
+                 for tag in tags}
+        stacks: Counter = Counter()
+        for (name, tag), cnt in items:
+            if tag is None:
+                stacks[f"solve;{name}"] += cnt
+            else:
+                lo, hi = tag
+                stacks[f"solve;level{level[tag]};"
+                       f"merge[{lo}:{hi}];{name}"] += cnt
+        return "\n".join(f"{stack} {cnt}"
+                         for stack, cnt in sorted(stacks.items())) + "\n"
+
+    def summary_dict(self) -> dict:
+        with self._lock:
+            top = Counter()
+            for (name, _tag), cnt in self.samples.items():
+                top[name] += cnt
+        return {"interval_s": self.interval_s, "ticks": self.n_ticks,
+                "samples": self.n_samples, "idle_samples": self.idle_samples,
+                "attributed_fraction": self.attributed_fraction,
+                "kernels": dict(top.most_common())}
+
+    def summary(self, top: int = 10) -> str:
+        """Human-readable top-kernels table (telemetry_summary section)."""
+        rows = [f"sampling profile ({self.interval_s * 1e3:.3g} ms tick, "
+                f"{self.n_ticks} ticks):"]
+        busy = self.busy_samples
+        if not self.n_samples:
+            rows.append("  (no samples)")
+            return "\n".join(rows)
+        rows.append(f"  busy/idle samples: {busy}/{self.idle_samples}"
+                    f"  ({busy / self.n_samples:.1%} busy)")
+        counts = Counter(self.kernel_counts())
+        for name, cnt in counts.most_common(top):
+            share = cnt / busy if busy else 0.0
+            rows.append(f"  {name:<18s}: {cnt:6d} samples  ({share:.1%})")
+        return "\n".join(rows)

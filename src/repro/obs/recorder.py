@@ -32,11 +32,22 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol
 
+from .live import Digest
+
 __all__ = ["Recorder", "NullRecorder", "NULL_RECORDER", "Collector",
            "SpanRecord"]
+
+#: Histogram names streamed into constant-memory :class:`Digest` sketches
+#: instead of retain-all value lists.  These are the unbounded-cardinality
+#: streams of a long-lived session (one sample per task/merge/root/solve);
+#: everything else (e.g. per-merge Givens chain lengths within one solve)
+#: stays exact.
+_DIGEST_HISTS = ("scheduler.queue_depth", "merge.deflation_ratio",
+                 "secular.iterations", "solve.latency_s")
 
 
 @dataclass
@@ -162,6 +173,10 @@ class Collector:
 
     enabled = True
 
+    #: Retention cap per (name, track) timeseries; a long-lived session
+    #: scraping queue depths must not grow without bound.
+    SERIES_MAXLEN = 65536
+
     def __init__(self) -> None:
         self.t0_abs = time.perf_counter()
         self._lock = threading.Lock()
@@ -171,9 +186,12 @@ class Collector:
         self.events: list[dict] = []
         self.counters: dict[str, float] = {}
         self.hists: dict[str, list[float]] = {}
+        #: Digest-backed histograms (see :data:`_DIGEST_HISTS`).
+        self.digests: dict[str, Digest] = {}
         self.gauges: dict[str, float] = {}
-        #: (name, track) -> list of (t, value) samples (counter tracks).
-        self.series: dict[tuple[str, int], list[tuple[float, float]]] = {}
+        #: (name, track) -> recent (t, value) samples (counter tracks),
+        #: bounded at :data:`SERIES_MAXLEN` each.
+        self.series: dict[tuple[str, int], deque] = {}
 
     def now(self) -> float:
         """Seconds since the collector epoch."""
@@ -221,14 +239,26 @@ class Collector:
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
-            self.hists.setdefault(name, []).append(float(value))
+            if name in _DIGEST_HISTS:
+                d = self.digests.get(name)
+                if d is None:
+                    d = self.digests[name] = Digest()
+                d.add(float(value))
+            else:
+                self.hists.setdefault(name, []).append(float(value))
 
     def observe_many(self, name: str, values: Iterable[float]) -> None:
         vals = [float(v) for v in values]
         if not vals:
             return
         with self._lock:
-            self.hists.setdefault(name, []).extend(vals)
+            if name in _DIGEST_HISTS:
+                d = self.digests.get(name)
+                if d is None:
+                    d = self.digests[name] = Digest()
+                d.add_many(vals)
+            else:
+                self.hists.setdefault(name, []).extend(vals)
 
     def gauge_max(self, name: str, value: float) -> None:
         with self._lock:
@@ -240,7 +270,11 @@ class Collector:
                track: int = 0) -> None:
         t = self.now() if t is None else t
         with self._lock:
-            self.series.setdefault((name, track), []).append((t, float(value)))
+            ring = self.series.get((name, track))
+            if ring is None:
+                ring = self.series[(name, track)] = \
+                    deque(maxlen=self.SERIES_MAXLEN)
+            ring.append((t, float(value)))
 
     def bulk_samples(self, name: str, track: int,
                      pairs: Iterable[tuple[float, float]]) -> None:
@@ -248,18 +282,28 @@ class Collector:
         if not pairs:
             return
         with self._lock:
-            self.series.setdefault((name, track), []).extend(pairs)
+            ring = self.series.get((name, track))
+            if ring is None:
+                ring = self.series[(name, track)] = \
+                    deque(maxlen=self.SERIES_MAXLEN)
+            ring.extend(pairs)
 
     # -- reading -----------------------------------------------------------
     def counter(self, name: str, default: float = 0.0) -> float:
         return self.counters.get(name, default)
 
     def hist_stats(self, name: str) -> Optional[dict]:
-        """count/min/max/mean/p50/p90 of one histogram (None if empty)."""
-        vals = self.hists.get(name)
-        if not vals:
-            return None
-        s = sorted(vals)
+        """count/min/max/mean/p50/p90/p99 of one histogram (None if
+        empty).  Digest-backed histograms (:data:`_DIGEST_HISTS`) report
+        sketched quantiles; counts/sums/extremes are always exact."""
+        with self._lock:
+            d = self.digests.get(name)
+            if d is not None:
+                return d.stats()
+            vals = self.hists.get(name)
+            if not vals:
+                return None
+            s = sorted(vals)
         n = len(s)
         return {
             "count": n,
@@ -268,8 +312,14 @@ class Collector:
             "mean": sum(s) / n,
             "p50": s[(n - 1) // 2],
             "p90": s[min(n - 1, (9 * n) // 10)],
+            "p99": s[min(n - 1, (99 * n) // 100)],
             "sum": sum(s),
         }
+
+    def hist_names(self) -> list[str]:
+        """All histogram names (exact lists and digests), sorted."""
+        with self._lock:
+            return sorted(set(self.hists) | set(self.digests))
 
     def span_tree(self) -> list[SpanRecord]:
         """All closed spans, parents before children (by start time)."""

@@ -36,9 +36,14 @@ class Quark:
     def __init__(self, backend: str = "sequential", *,
                  n_workers: Optional[int] = None,
                  machine: Optional[Machine] = None,
-                 recorder=None, fault_injection: Optional[FaultSpec] = None):
+                 recorder=None, fault_injection: Optional[FaultSpec] = None,
+                 flight=None):
         self.backend = backend
         self.recorder = recorder
+        #: Optional :class:`~repro.obs.live.FlightRecorder` handed to the
+        #: wall-clock schedulers (the simulator's virtual time would be
+        #: meaningless in the ring, so it is skipped).
+        self.flight = flight
         self.injector = (FaultInjector(fault_injection)
                          if fault_injection is not None else None)
         self.machine = machine if machine is not None else (
@@ -65,10 +70,12 @@ class Quark:
     def _make_scheduler(self):
         if self.backend == "sequential":
             return SequentialScheduler(recorder=self.recorder,
-                                       injector=self.injector)
+                                       injector=self.injector,
+                                       flight=self.flight)
         if self.backend == "threads":
             return ThreadScheduler(self.n_workers, recorder=self.recorder,
-                                   injector=self.injector)
+                                   injector=self.injector,
+                                   flight=self.flight)
         if self.backend == "simulated":
             return SimulatedMachine(self.machine, n_workers=self.n_workers,
                                     recorder=self.recorder,

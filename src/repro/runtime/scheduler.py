@@ -64,18 +64,30 @@ class _ReadyQueue:
 class SequentialScheduler:
     """Run the whole graph on the calling thread, in submission order."""
 
-    def __init__(self, recorder=None, injector=None) -> None:
+    def __init__(self, recorder=None, injector=None, flight=None) -> None:
         self.trace: Optional[Trace] = None
         self.recorder = recorder
         self.injector = injector
+        #: Optional :class:`~repro.obs.live.FlightRecorder`: one bounded
+        #: ring append per executed task (plus failures), so a session
+        #: can reconstruct the recent past after a crash.
+        self.flight = flight
+        self._current: list = [None]
+
+    def current_tasks(self) -> list:
+        """The task executing now (one slot; ``None`` when idle)."""
+        return list(self._current)
 
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
         trace = Trace(n_workers=1)
         inj = self.injector
         rec = self.recorder
+        fl = self.flight
+        cur = self._current
         t0 = time.perf_counter()
         for i, task in enumerate(graph.tasks):
+            cur[0] = task
             a = time.perf_counter() - t0
             try:
                 if inj is not None:
@@ -84,15 +96,23 @@ class SequentialScheduler:
             except Exception as exc:
                 # First failure cancels the run: the remaining tasks are
                 # dropped and the exception propagates with task context.
+                cur[0] = None
                 if rec is not None and rec.enabled:
                     rec.add("scheduler.failures")
                     rec.add("scheduler.cancelled_tasks",
                             len(graph.tasks) - i - 1)
+                if fl is not None:
+                    fl.record("task.fail", task.name, 0, task.seq,
+                              t0 + a, time.perf_counter(),
+                              detail=f"{type(exc).__name__}: {exc}")
                 raise wrap_task_error(task, exc) from exc
             task.mark_done()
             b = time.perf_counter() - t0
+            cur[0] = None
             trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag,
                                     task.priority))
+            if fl is not None:
+                fl.record_task(task, 0, t0 + a, t0 + b)
         if rec is not None and rec.enabled:
             rec.add("scheduler.tasks", len(graph.tasks))
         self.trace = trace
@@ -145,7 +165,7 @@ class ThreadScheduler:
     """
 
     def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
-                 recorder=None, injector=None):
+                 recorder=None, injector=None, flight=None):
         if n_workers is None:
             n_workers = default_thread_workers()
         if n_workers < 1:
@@ -154,7 +174,24 @@ class ThreadScheduler:
         self.n_stripes = max(1, n_stripes)
         self.recorder = recorder
         self.injector = injector
+        #: Optional :class:`~repro.obs.live.FlightRecorder` (one bounded
+        #: ring append per executed task / failure).
+        self.flight = flight
         self.trace: Optional[Trace] = None
+        self._current: list = [None] * n_workers
+        self._deques: list[_WorkerDeque] = []
+
+    def current_tasks(self) -> list:
+        """Per-worker currently-executing task slots (``None`` = idle).
+
+        Written by the workers without locks (slot stores are atomic
+        under the GIL); the sampling profiler reads a racy-but-safe
+        snapshot."""
+        return list(self._current)
+
+    def queue_depths(self) -> list[int]:
+        """Per-worker ready-queue depths (unlocked, approximate)."""
+        return [len(d.heap) for d in self._deques]
 
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
@@ -167,6 +204,9 @@ class ThreadScheduler:
         pending = [t.n_deps for t in tasks]
         stripes = [threading.Lock() for _ in range(self.n_stripes)]
         deques = [_WorkerDeque() for _ in range(nw)]
+        self._deques = deques
+        self._current = current = [None] * nw
+        fl = self.flight
         wevents: list[list[TraceEvent]] = [[] for _ in range(nw)]
         widle: list[list[tuple[float, float]]] = [[] for _ in range(nw)]
         rec = self.recorder
@@ -231,6 +271,7 @@ class ThreadScheduler:
                             st.park_s += pb - pa
                     continue
 
+                current[wid] = task
                 a = time.perf_counter() - t0
                 try:
                     if inj is not None:
@@ -241,6 +282,11 @@ class ThreadScheduler:
                     # their queues as no-ops and park/join within the
                     # condvar timeout bound; the exception propagates
                     # to the caller wrapped with its task context.
+                    current[wid] = None
+                    if fl is not None:
+                        fl.record("task.fail", task.name, wid, task.seq,
+                                  t0 + a, time.perf_counter(),
+                                  detail=f"{type(exc).__name__}: {exc}")
                     failure = wrap_task_error(task, exc, worker=wid)
                     if failure is not exc:
                         failure.__cause__ = exc
@@ -249,14 +295,18 @@ class ThreadScheduler:
                         idle_cv.notify_all()
                     return
                 except BaseException as exc:   # KeyboardInterrupt & co.
+                    current[wid] = None
                     with idle_cv:
                         errors.append(exc)
                         idle_cv.notify_all()
                     return
                 b = time.perf_counter() - t0
                 task.mark_done()
+                current[wid] = None
                 events.append(TraceEvent(task.uid, task.name, wid,
                                          a, b, task.tag, task.priority))
+                if fl is not None:
+                    fl.record_task(task, wid, t0 + a, t0 + b)
 
                 made_ready = 0
                 if st is not None:
@@ -454,7 +504,7 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
-                 recorder=None):
+                 recorder=None, flight=None):
         if n_workers is None:
             n_workers = default_thread_workers()
         if n_workers < 1:
@@ -462,6 +512,14 @@ class WorkerPool:
         self.n_workers = n_workers
         self.n_stripes = max(1, n_stripes)
         self.recorder = recorder
+        #: Optional :class:`~repro.obs.live.FlightRecorder` shared by
+        #: every run of the pool (one bounded append per task).
+        self.flight = flight
+        #: Per-worker currently-executing task slots (``None`` = idle);
+        #: GIL-atomic stores, read racily by the sampling profiler and
+        #: the health endpoint.
+        self._current: list = [None] * n_workers
+        self._parked = 0        # workers blocked on the condvar now
         self._deques = [_FusedDeque() for _ in range(n_workers)]
         self._stripes = [threading.Lock() for _ in range(self.n_stripes)]
         self._cv = threading.Condition()
@@ -537,6 +595,8 @@ class WorkerPool:
         stripes = self._stripes
         state = self._state
         st = self._wstats[wid] if self._wstats is not None else None
+        fl = self.flight
+        current = self._current
         while True:
             # Unlocked reads are safe under the GIL; the condvar re-checks
             # before parking, so no wakeup can be lost.
@@ -548,8 +608,10 @@ class WorkerPool:
                 with cv:
                     if not self._shutdown and state["version"] == version:
                         pa = time.perf_counter()
+                        self._parked += 1
                         # Timeout is a lost-wakeup safety net only.
                         cv.wait(timeout=0.05)
+                        self._parked -= 1
                         if st is not None:
                             st.parks += 1
                             st.park_s += time.perf_counter() - pa
@@ -560,25 +622,35 @@ class WorkerPool:
                 if run.finalized:
                     continue        # failed run: drain queued tasks as no-ops
                 run.inflight += 1
+            current[wid] = task
             a = time.perf_counter()
             try:
                 if run.injector is not None:
                     run.injector.maybe_fail(task)
                 task.run()
             except Exception as exc:
+                current[wid] = None
+                if fl is not None:
+                    fl.record("task.fail", task.name, wid, task.seq,
+                              a, time.perf_counter(),
+                              detail=f"{type(exc).__name__}: {exc}")
                 failure = wrap_task_error(task, exc, worker=wid)
                 if failure is not exc:
                     failure.__cause__ = exc
                 self._fail_run(run, failure)
                 continue
             except BaseException as exc:    # KeyboardInterrupt & co.
+                current[wid] = None
                 self._fail_run(run, exc)
                 continue
             b = time.perf_counter()
             task.mark_done()
+            current[wid] = None
             run.events.append(TraceEvent(task.uid, task.name, wid,
                                          a - run.t0, b - run.t0, task.tag,
                                          task.priority))
+            if fl is not None:
+                fl.record_task(task, wid, a, b)
 
             made_ready = 0
             if not run.failed:
@@ -659,7 +731,9 @@ class WorkerPool:
         rec = run.recorder
         observe = rec is not None and getattr(rec, "enabled", False)
         if not run.failed:
-            trace = Trace(n_workers=self.n_workers)
+            trace = Trace(n_workers=self.n_workers,
+                          worker_names=[f"pool-worker-{w}"
+                                        for w in range(self.n_workers)])
             run.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
             trace.events = run.events
             run.trace = trace
@@ -734,6 +808,24 @@ class WorkerPool:
                 rec.add("scheduler.park.time_s", st.park_s)
                 rec.add("scheduler.dep_resolve.time_s", st.dep_s)
                 self._flush_depth(w, st)
+
+    # -- introspection (health endpoint / sampling profiler) -------------
+    def current_tasks(self) -> list:
+        """Per-worker currently-executing task (``None`` = idle)."""
+        return list(self._current)
+
+    def queue_depths(self) -> list[int]:
+        """Per-worker ready-queue depths (unlocked, approximate)."""
+        return [len(d.heap) for d in self._deques]
+
+    @property
+    def parked(self) -> int:
+        """Workers currently blocked on the idle condvar."""
+        return self._parked
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(1 for th in self._threads if th.is_alive())
 
     @property
     def closed(self) -> bool:

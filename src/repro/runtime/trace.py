@@ -41,12 +41,18 @@ class TraceEvent:
 class Trace:
     """A recorded schedule: list of events plus machine geometry."""
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int,
+                 worker_names: Optional[list[str]] = None):
         self.n_workers = n_workers
         self.events: list[TraceEvent] = []
         #: Measured parked intervals ``(worker, t_start, t_end)`` — filled
         #: by the thread scheduler; empty for backends without parking.
         self.idle_intervals: list[tuple[int, float, float]] = []
+        #: Display names of the worker rows in trace exports.  ``None``
+        #: falls back to ``worker N``; the persistent WorkerPool labels
+        #: its rows ``pool-worker-N`` so session traces attribute events
+        #: to the long-lived threads rather than bare ids.
+        self.worker_names = worker_names
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -168,10 +174,12 @@ class Trace:
             "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
             "args": {"name": "repro-eig workers"},
         }]
+        names = self.worker_names
         for w in range(self.n_workers):
+            wname = names[w] if names and w < len(names) else f"worker {w}"
             events.append({"ph": "M", "pid": 0, "tid": w,
                            "name": "thread_name",
-                           "args": {"name": f"worker {w}"}})
+                           "args": {"name": wname}})
             events.append({"ph": "M", "pid": 0, "tid": w,
                            "name": "thread_sort_index",
                            "args": {"sort_index": w}})

@@ -80,6 +80,32 @@ def test_merge_stats_deterministic_across_backends():
     assert sum(sweeps_seq) > 0
 
 
+@pytest.mark.parametrize("backend,workers", [("sequential", 1),
+                                             ("threads", 4),
+                                             ("simulated", 4)])
+def test_backends_bitwise_identical_with_service_layer(tmp_path, backend,
+                                                       workers):
+    # The live-observability layer (flight recorder on, digest-backed
+    # telemetry, postmortem_dir configured) must not perturb a single
+    # bit of the results on any backend.
+    from repro.core.session import SolverSession
+    from repro.obs import Collector
+
+    d, e = table3_matrix(4, 150, seed=18)
+    lam0, V0 = _solve(d, e, "sequential")
+    opts = DCOptions(postmortem_dir=str(tmp_path), telemetry=Collector())
+    with SolverSession(backend=backend, n_workers=workers,
+                       options=opts) as s:
+        lam, V = s.solve(d, e)
+        np.testing.assert_array_equal(lam0, lam)
+        np.testing.assert_array_equal(V0, V)
+        # The digest-backed histograms saw the solve...
+        col = s.options.telemetry
+        assert col.hist_stats("merge.deflation_ratio")["count"] > 0
+    # ...and a healthy solve never writes a post-mortem bundle.
+    assert not list(tmp_path.glob("*.jsonl"))
+
+
 # ---------------------------------------------------------------------------
 # DAG template cache
 

@@ -67,7 +67,8 @@ def test_collector_counters_hists_gauges():
     c.gauge_max("g", 2.0)
     assert c.gauges["g"] == 5.0
     c.bulk_samples("s", 1, [(0.0, 1.0), (1.0, 2.0)])
-    assert c.series[("s", 1)] == [(0.0, 1.0), (1.0, 2.0)]
+    # Series are bounded deques now (SERIES_MAXLEN); content is intact.
+    assert list(c.series[("s", 1)]) == [(0.0, 1.0), (1.0, 2.0)]
 
 
 def test_collector_span_nesting():
@@ -235,6 +236,79 @@ def test_prometheus_text(instrumented):
         assert line.startswith("#") or len(line.split(" ")) == 2
 
 
+def test_exporters_on_empty_collector():
+    # Edge case: a Collector that never saw a solve must still export
+    # valid documents from every format.
+    empty = Collector()
+    buf = io.StringIO()
+    n = write_jsonl(buf, empty)
+    lines = [json.loads(ln) for ln in buf.getvalue().splitlines()]
+    assert len(lines) == n == 1 and lines[0]["type"] == "meta"
+    from repro.runtime.trace import Trace
+    doc = chrome_trace(Trace(n_workers=0), empty)
+    assert json.loads(json.dumps(doc)) == doc
+    text = prometheus_text(empty)
+    assert text == "\n"
+    from tests.test_live_obs import assert_prometheus_grammar
+    empty.add("x")
+    assert_prometheus_grammar(prometheus_text(empty))
+
+
+def test_telemetry_block_deterministic_across_identical_solves(problem):
+    # Two identical simulated solves must produce identical telemetry
+    # blocks (virtual time is deterministic, digests included).
+    d, e = problem
+
+    def block():
+        col = Collector()
+        res = _solve(d, e, collector=col, backend="simulated", n_workers=4)
+        return telemetry_block(col, res.trace)
+
+    a, b = block(), block()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["merge_deflation_ratio"]["count"] > 0
+
+
+def test_prometheus_hostile_names_escaped():
+    # Regression: metric names with format-illegal characters and label
+    # values with quotes/newlines/backslashes must not corrupt the
+    # exposition output.
+    from repro.obs import prom_label_value, prom_name
+
+    assert prom_name('merge.deflation%ratio{x="y"}') == \
+        "repro_merge_deflation_ratio_x__y__"
+    assert prom_name("9lives") == "repro_9lives"
+    assert prom_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    col = Collector()
+    col.add('hostile metric{say="hi"}')
+    col.observe('also.bad-name percentile', 1.0)
+    col.gauge_max("trailing.dot.", 2.0)
+    text = prometheus_text(col)
+    from tests.test_live_obs import assert_prometheus_grammar
+    assert_prometheus_grammar(text)
+    assert "repro_hostile_metric_say__hi___total 1" in text
+    assert "repro_also_bad_name_percentile_count 1" in text
+    assert "repro_trailing_dot_ 2" in text
+
+
+def test_digest_backed_hists_in_collector():
+    # The high-cardinality histograms stream through digests: exact
+    # counts/min/max/sum, bounded memory, and hist_stats-compatible.
+    col = Collector()
+    col.observe_many("merge.deflation_ratio", [0.1, 0.2, 0.3])
+    col.observe("secular.iterations", 4.0)
+    col.observe("some.small.hist", 1.0)          # stays a plain list
+    assert "merge.deflation_ratio" in col.digests
+    assert "some.small.hist" not in col.digests
+    st = col.hist_stats("merge.deflation_ratio")
+    assert st["count"] == 3 and st["min"] == 0.1 and st["max"] == 0.3
+    assert st["sum"] == pytest.approx(0.6)
+    assert set(col.hist_names()) == {"merge.deflation_ratio",
+                                     "secular.iterations",
+                                     "some.small.hist"}
+
+
 def test_telemetry_block_and_summary(instrumented):
     col, trace = instrumented
     block = telemetry_block(col, trace)
@@ -253,6 +327,20 @@ def test_telemetry_block_and_summary(instrumented):
     assert telemetry_summary(None) == ""
     empty = Collector()
     assert "deflation ratio  : (none)" in telemetry_summary(empty)
+
+
+def test_pool_trace_worker_thread_names(problem):
+    # Satellite: WorkerPool traces carry pool-worker-N thread_name
+    # metadata so Perfetto rows are identifiable in long-lived sessions.
+    from repro.core.session import SolverSession
+
+    d, e = problem
+    with SolverSession(backend="threads", n_workers=3) as s:
+        res = s.solve(d, e, full_result=True)
+    doc = chrome_trace(res.trace)
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("name") == "thread_name" and e["pid"] == 0}
+    assert names == {"pool-worker-0", "pool-worker-1", "pool-worker-2"}
 
 
 # -- CLI --------------------------------------------------------------------
