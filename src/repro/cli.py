@@ -42,10 +42,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=["dc", "mrrr", "qr", "bi", "lapack-dc"],
                    help="eigensolver")
     s.add_argument("--backend", default="sequential",
-                   choices=["sequential", "threads", "simulated"],
+                   choices=["sequential", "threads", "processes",
+                            "simulated"],
                    help="runtime backend (dc solvers only)")
     s.add_argument("--workers", type=int, default=None,
-                   help="worker threads / virtual cores")
+                   help="worker threads / processes / virtual cores")
     s.add_argument("--subset", default=None, metavar="I0:I1",
                    help="eigenpair index range, e.g. 0:10 "
                         "(dc and mrrr solvers)")
@@ -87,9 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="matrix size (alias of --n)")
     t.add_argument("--cores", type=int, default=16)
     t.add_argument("--backend", default="simulated",
-                   choices=["simulated", "threads", "sequential"],
+                   choices=["simulated", "threads", "processes",
+                            "sequential"],
                    help="runtime backend to trace (threads exposes the "
-                        "work-stealing counters)")
+                        "work-stealing counters; processes shows "
+                        "proc-worker lanes)")
     t.add_argument("--config", default="full-taskflow",
                    choices=["sequential", "parallel-gemm", "parallel-merge",
                             "full-taskflow"],
@@ -113,9 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="HTTP port (0 = ephemeral; printed on startup)")
     q.add_argument("--host", default="127.0.0.1")
     q.add_argument("--backend", default="threads",
-                   choices=["sequential", "threads", "simulated"])
+                   choices=["sequential", "threads", "processes",
+                            "simulated"])
     q.add_argument("--workers", type=int, default=None,
-                   help="worker threads (default: one per core)")
+                   help="worker threads / processes (default: one per "
+                        "core)")
     q.add_argument("--duration", type=float, default=0.0,
                    help="seconds to serve before exiting "
                         "(0 = until interrupted)")

@@ -67,7 +67,8 @@ class DCContext:
     """Shared state of one D&C solve."""
 
     def __init__(self, d: np.ndarray, e: np.ndarray, opts: DCOptions,
-                 subset: np.ndarray | None = None, workspace=None):
+                 subset: np.ndarray | None = None, workspace=None,
+                 buffers: Optional[dict] = None):
         d = np.asarray(d, dtype=np.float64)
         e = np.asarray(e, dtype=np.float64)
         n = d.shape[0]
@@ -111,13 +112,32 @@ class DCContext:
         # location later read), so recycled contents never leak into
         # results — numerics are bitwise identical either way.
         self.workspace = workspace
-        self.D = np.zeros(n)
-        if workspace is not None:
+        self._d_pooled = False
+        if buffers is not None:
+            # Process-backend replica: D/V/Vws are externally managed
+            # views of shared-memory segments owned by the parent pool.
+            self.D = buffers["D"]
+            self.V = buffers["V"]
+            self.Vws = buffers["Vws"]
+        elif workspace is not None:
+            # A shared (process-backend) pool must also serve D so child
+            # processes see eigenvalue writes; dirty reuse is exact for
+            # the same reason as V/Vws (leaves write all of D[0:n) before
+            # any read).
+            if getattr(workspace, "shared", False):
+                self.D = workspace.take((n,))
+                self._d_pooled = True
+            else:
+                self.D = np.zeros(n)
             self.V = workspace.take((n, n))
             self.Vws = workspace.take((n, n))
         else:
+            self.D = np.zeros(n)
             self.V = np.zeros((n, n), order="F")
             self.Vws = np.zeros((n, n), order="F")
+        # Process backend: child replicas defer the secular-failure
+        # STEQR fallback to the parent dispatcher (exclusive access).
+        self._defer_fallback = False
         # Final ordering (SortEigenvectors / ScaleBack).
         self.order: Optional[np.ndarray] = None
         self.D_sorted: Optional[np.ndarray] = None
@@ -201,6 +221,10 @@ class DCContext:
             st.X = None
         ws.release(self.V)
         self.V = None
+        if self._d_pooled:
+            ws.release(self.D)
+            self.D = None
+            self._d_pooled = False
         if keep_result:
             ws.forget(self.Vws)
         else:
@@ -279,11 +303,15 @@ class MergeState:
 
         The last writer sees the final value of ``secular_failed`` (all
         detection sites are ordered before it by the DAG) and performs
-        the STEQR fallback with exclusive access to the block."""
+        the STEQR fallback with exclusive access to the block.  Process
+        backend: child replicas only ever see a *partial* countdown (the
+        writers are spread across workers), so they defer; the parent
+        dispatcher, which observes every completion, drives its own
+        replica's countdown and applies the fallback there."""
         with self._flock:
             self._writers_left -= 1
             last = self._writers_left == 0
-        if last and self.secular_failed:
+        if last and self.secular_failed and not self.ctx._defer_fallback:
             self._apply_fallback()
 
     def _apply_fallback(self) -> None:

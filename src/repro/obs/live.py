@@ -236,44 +236,91 @@ class FlightRecorder:
 
     Timestamps are raw ``perf_counter`` values; :meth:`snapshot`
     re-bases them onto the recorder's epoch so dumps are human-scaled.
+
+    Because the per-stripe rings evict independently, a raw union of the
+    stripes after wraparound would contain interleaved holes (stripe
+    ``i`` only ever holds sequence numbers ``≡ i (mod n_stripes)``, and
+    each drops its own oldest).  :meth:`snapshot` therefore trims the
+    sorted replay to the contiguous suffix: everything at or above the
+    newest per-stripe eviction horizon.  :meth:`occupancy` reports how
+    much was dropped by eviction and how much the trim removed.
     """
 
     def __init__(self, capacity: int = 4096, n_stripes: int = 8):
         n_stripes = max(1, min(n_stripes, capacity))
         per = max(1, capacity // n_stripes)
         self.capacity = per * n_stripes
+        self._per_stripe = per
         self._stripes = [(threading.Lock(), deque(maxlen=per))
                          for _ in range(n_stripes)]
         self._n_stripes = n_stripes
-        self._seq = itertools.count()
+        self._seq_lock = threading.Lock()
+        self._next_seq = 0
         self.t0_abs = time.perf_counter()
         self.t0_wall = time.time()
+
+    def _bump(self) -> int:
+        with self._seq_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        return seq
 
     # -- recording (hot path) -------------------------------------------
     def record(self, kind: str, name: str, worker: int = -1,
                task_seq: int = -1, t0: float = 0.0, t1: float = 0.0,
                detail: str = "") -> None:
-        seq = next(self._seq)
+        seq = self._bump()
         lock, ring = self._stripes[seq % self._n_stripes]
         with lock:
             ring.append((seq, kind, name, worker, task_seq, t0, t1, detail))
 
     def record_task(self, task, worker: int, t0: float, t1: float) -> None:
         """One executed task (absolute perf_counter start/end)."""
-        seq = next(self._seq)
+        seq = self._bump()
         lock, ring = self._stripes[seq % self._n_stripes]
         with lock:
             ring.append((seq, "task", task.name, worker, task.seq, t0, t1,
                          "" if task.tag is None else str(task.tag)))
 
     # -- reading ---------------------------------------------------------
+    def _horizon(self, raw: list[FlightEvent]) -> int:
+        """First sequence number of the contiguous replay suffix.
+
+        A stripe that has evicted proves every older member of its
+        residue class is gone; the newest such eviction bounds the
+        window in which *other* stripes may still hold stale survivors.
+        Treating a merely-full stripe as evicting is harmless: its
+        horizon lies at or below the true global minimum.
+        """
+        start = 0
+        per, n = self._per_stripe, self._n_stripes
+        oldest: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        for seq, *_ in raw:
+            s = seq % n
+            counts[s] = counts.get(s, 0) + 1
+            if s not in oldest or seq < oldest[s]:
+                oldest[s] = seq
+        for s, cnt in counts.items():
+            if cnt >= per:
+                start = max(start, oldest[s] - n + 1)
+        return start
+
     def snapshot(self, last: Optional[int] = None) -> list[dict]:
-        """The retained events, oldest first, as JSON-ready dicts."""
+        """The retained events, oldest first, as JSON-ready dicts.
+
+        Only the contiguous suffix is replayed: events older than the
+        newest per-stripe eviction horizon are trimmed so the replay
+        never mixes pre- and post-wraparound epochs.
+        """
         raw: list[FlightEvent] = []
         for lock, ring in self._stripes:
             with lock:
                 raw.extend(ring)
         raw.sort()
+        start = self._horizon(raw)
+        if start:
+            raw = [ev for ev in raw if ev[0] >= start]
         if last is not None:
             raw = raw[-last:]
         t0 = self.t0_abs
@@ -293,13 +340,26 @@ class FlightRecorder:
         return out
 
     def occupancy(self) -> dict:
-        """Ring occupancy: capacity, retained, total ever recorded."""
-        size = sum(len(ring) for _, ring in self._stripes)
-        # itertools.count has no peek; __reduce__ exposes the next value
-        # without advancing it.
-        total = self._seq.__reduce__()[1][0]
+        """Ring occupancy: capacity, retained, replayable, drop counts.
+
+        ``recorded`` is the exact event count (explicit locked counter);
+        ``dropped`` is what the rings evicted, ``trimmed`` what the
+        contiguity horizon removes on top, and ``replayable`` what
+        :meth:`snapshot` actually returns.
+        """
+        raw: list[FlightEvent] = []
+        for lock, ring in self._stripes:
+            with lock:
+                raw.extend(ring)
+        size = len(raw)
+        start = self._horizon(raw)
+        replayable = sum(1 for ev in raw if ev[0] >= start) if start \
+            else size
+        with self._seq_lock:
+            total = self._next_seq
         return {"capacity": self.capacity, "size": size,
-                "recorded": total, "dropped": max(0, total - size)}
+                "recorded": total, "dropped": max(0, total - size),
+                "trimmed": size - replayable, "replayable": replayable}
 
 
 # ---------------------------------------------------------------------------

@@ -101,21 +101,27 @@ class FaultInjector:
         return (h >> 11) / float(1 << 53) < self.spec.probability
 
     def maybe_fail(self, task) -> None:
-        """Raise :class:`InjectedFault` if ``task`` matches the spec."""
+        """Raise :class:`InjectedFault` if ``task`` matches the spec.
+
+        Selectors are ANDed: the probability roll applies on top of any
+        ``task_seq``/``kernel`` filter, and the ``nth`` counter is
+        consumed last so tasks vetoed by another selector (including a
+        failed roll) never advance it.  The roll is a pure function of
+        ``(seed, task.seq)``, so the outcome is identical on every
+        backend and schedule.
+        """
         spec = self.spec
         if spec.task_seq is not None and task.seq != spec.task_seq:
             return
-        if spec.kernel is not None:
-            if task.name != spec.kernel:
-                return
-            if spec.nth is not None:
-                with self._lock:
-                    mine = self._kernel_matches
-                    self._kernel_matches += 1
-                if mine != spec.nth:
-                    return
-        if spec.task_seq is None and spec.kernel is None:
-            if not self._roll(task.seq):
+        if spec.kernel is not None and task.name != spec.kernel:
+            return
+        if spec.probability and not self._roll(task.seq):
+            return
+        if spec.kernel is not None and spec.nth is not None:
+            with self._lock:
+                mine = self._kernel_matches
+                self._kernel_matches += 1
+            if mine != spec.nth:
                 return
         with self._lock:
             self.injected += 1

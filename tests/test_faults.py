@@ -67,6 +67,77 @@ def test_probability_roll_is_deterministic():
 
 
 # ---------------------------------------------------------------------------
+# Combined selectors are ANDed (regression: kernel/task_seq used to
+# bypass the probability roll entirely, and roll-vetoed tasks consumed
+# the nth counter)
+# ---------------------------------------------------------------------------
+
+class _T:
+    def __init__(self, name, seq):
+        self.name, self.seq = name, seq
+
+
+def _fired(inj, tasks):
+    out = []
+    for t in tasks:
+        try:
+            inj.maybe_fail(t)
+        except InjectedFault:
+            out.append(t.seq)
+    return out
+
+
+def test_and_semantics_kernel_plus_probability():
+    # kernel AND probability: only tasks of the kernel whose roll fires
+    # fail — the kernel match must not short-circuit past the roll.
+    spec = FaultSpec(kernel="K", probability=0.5, seed=11)
+    ref = FaultInjector(spec)
+    rolls = {s for s in range(100) if ref._roll(s)}
+    assert rolls and len(rolls) < 100   # both outcomes present
+
+    inj = FaultInjector(spec)
+    tasks = [_T("K" if s % 2 else "J", s) for s in range(100)]
+    fired = _fired(inj, tasks)
+    assert fired == [s for s in range(100) if s % 2 and s in rolls]
+
+
+def test_and_semantics_task_seq_plus_probability():
+    ref = FaultInjector(FaultSpec(probability=0.5, seed=11))
+    hit = next(s for s in range(100) if ref._roll(s))
+    miss = next(s for s in range(100) if not ref._roll(s))
+
+    # Roll fires at the selected seq -> fault.
+    inj = FaultInjector(FaultSpec(task_seq=hit, probability=0.5, seed=11))
+    with pytest.raises(InjectedFault):
+        inj.maybe_fail(_T("K", hit))
+    # Roll misses at the selected seq -> no fault, ever.
+    inj = FaultInjector(FaultSpec(task_seq=miss, probability=0.5, seed=11))
+    inj.maybe_fail(_T("K", miss))
+    assert inj.injected == 0
+
+
+def test_nth_counter_ignores_roll_vetoed_tasks():
+    # nth counts *eligible* matches: a task vetoed by the probability
+    # roll must not advance the counter.
+    spec = FaultSpec(kernel="K", nth=1, probability=0.5, seed=11)
+    ref = FaultInjector(spec)
+    rolls = [s for s in range(100) if ref._roll(s)]
+    assert len(rolls) >= 2
+
+    inj = FaultInjector(spec)
+    fired = _fired(inj, [_T("K", s) for s in range(100)])
+    # The second roll-surviving seq fails — not plain seq 1.
+    assert fired == [rolls[1]]
+
+
+def test_nth_counter_ignores_other_kernels():
+    inj = FaultInjector(FaultSpec(kernel="K", nth=2))
+    tasks = [_T("J", 0), _T("K", 1), _T("J", 2), _T("K", 3), _T("J", 4),
+             _T("K", 5)]
+    assert _fired(inj, tasks) == [5]   # third "K", not seq 2
+
+
+# ---------------------------------------------------------------------------
 # Scheduler-level injection: same typed failure on every backend
 # ---------------------------------------------------------------------------
 
@@ -157,6 +228,72 @@ def test_simulated_injection():
     from repro.runtime import Machine
     with pytest.raises(TaskFailure, match="'only'"):
         SimulatedMachine(Machine(), injector=inj).run(g)
+
+
+# ---------------------------------------------------------------------------
+# AND-selectors behave identically on all four backends (incl. processes)
+# ---------------------------------------------------------------------------
+
+def _laed4_seqs(d, e):
+    res = dc_eigh(d, e, full_result=True)
+    return [t.seq for t in res.graph.tasks if t.name == "LAED4"]
+
+
+def _find_seeds(seqs, p=0.2):
+    """A seed where no LAED4 task rolls, and one where some do."""
+    quiet = noisy = None
+    for seed in range(200):
+        inj = FaultInjector(FaultSpec(probability=p, seed=seed))
+        n = sum(inj._roll(s) for s in seqs)
+        if n == 0 and quiet is None:
+            quiet = seed
+        if n > 0 and noisy is None:
+            noisy = seed
+        if quiet is not None and noisy is not None:
+            return quiet, noisy
+    raise AssertionError("no suitable seeds in range")
+
+
+@pytest.mark.parametrize("backend", BACKENDS + ["processes"])
+def test_kernel_and_probability_identical_on_every_backend(backend):
+    # Regression: kernel= used to make the spec fire unconditionally,
+    # ignoring the probability roll.  With a seed whose roll misses all
+    # LAED4 tasks the solve must SUCCEED; with a seed that hits, it must
+    # fail in a roll-matching LAED4 task — on every backend.
+    d, e = _problem(120, seed=6)
+    seqs = _laed4_seqs(d, e)
+    quiet, noisy = _find_seeds(seqs)
+    lam0, V0 = dc_eigh(d, e)
+
+    kw = {"backend": backend}
+    if backend == "processes":
+        kw["n_workers"] = 2
+    lam, V = dc_eigh(d, e, options=DCOptions(fault_injection=FaultSpec(
+        kernel="LAED4", probability=0.2, seed=quiet)), **kw)
+    np.testing.assert_array_equal(lam0, lam)
+    np.testing.assert_array_equal(V0, V)
+
+    spec = FaultSpec(kernel="LAED4", probability=0.2, seed=noisy)
+    with pytest.raises(TaskFailure) as ei:
+        dc_eigh(d, e, options=DCOptions(fault_injection=spec), **kw)
+    assert ei.value.task_name == "LAED4"
+    assert FaultInjector(spec)._roll(ei.value.seq)
+
+
+@pytest.mark.parametrize("backend", BACKENDS + ["processes"])
+def test_kernel_and_nth_identical_on_every_backend(backend):
+    # nth with kernel selects one deterministic match; with an
+    # out-of-order schedule the *set* of eligible tasks is fixed even if
+    # which one hits the counter first is not.
+    d, e = _problem(120, seed=6)
+    kw = {"backend": backend}
+    if backend == "processes":
+        kw["n_workers"] = 2
+    spec = FaultSpec(kernel="PermuteV", nth=1)
+    with pytest.raises(TaskFailure) as ei:
+        dc_eigh(d, e, options=DCOptions(fault_injection=spec), **kw)
+    assert ei.value.task_name == "PermuteV"
+    assert isinstance(ei.value.__cause__, InjectedFault)
 
 
 # ---------------------------------------------------------------------------

@@ -168,6 +168,46 @@ def test_flight_recorder_task_events():
     assert ev["t0"] == pytest.approx(1.0) and ev["t1"] == pytest.approx(2.0)
 
 
+def test_flight_snapshot_trims_to_contiguous_suffix():
+    # White-box: per-stripe rings evict independently, so after
+    # wraparound a stripe can hold a stale survivor from an older epoch.
+    # Craft that state directly: capacity 8, 2 stripes (per-stripe 4),
+    # stripe 0 = seqs (8, 10, 12, 14), stripe 1 = (1, 9, 11, 13) — seq 1
+    # is a pre-wraparound straggler that a naive sorted union would
+    # replay with a 7-event hole after it.
+    fr = FlightRecorder(capacity=8, n_stripes=2)
+
+    def ev(seq):
+        return (seq, "task", f"K{seq}", -1, -1, 0.0, 0.0, "")
+
+    for seq in (8, 10, 12, 14):
+        fr._stripes[0][1].append(ev(seq))
+    for seq in (1, 9, 11, 13):
+        fr._stripes[1][1].append(ev(seq))
+    fr._next_seq = 15
+
+    seqs = [e["seq"] for e in fr.snapshot()]
+    assert seqs == [8, 9, 10, 11, 12, 13, 14]   # contiguous, seq 1 trimmed
+    occ = fr.occupancy()
+    assert occ == {"capacity": 8, "size": 8, "recorded": 15,
+                   "dropped": 7, "trimmed": 1, "replayable": 7}
+
+
+def test_flight_occupancy_is_read_only():
+    # Regression: the recorded counter must be observable without being
+    # consumed — repeated occupancy() calls agree, and the next event
+    # still gets the next sequence number.
+    fr = FlightRecorder(capacity=16, n_stripes=2)
+    for _ in range(5):
+        fr.record("task", "K")
+    assert fr.occupancy()["recorded"] == 5
+    assert fr.occupancy()["recorded"] == 5
+    fr.record("task", "K")
+    occ = fr.occupancy()
+    assert occ["recorded"] == 6 and occ["dropped"] == 0
+    assert [e["seq"] for e in fr.snapshot()] == list(range(6))
+
+
 # ---------------------------------------------------------------------------
 # Session metrics
 # ---------------------------------------------------------------------------

@@ -286,6 +286,29 @@ def test_submit_after_close_raises():
     s.close()                             # idempotent
 
 
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_handle_timeout_leaves_handle_reusable(backend):
+    """``result(timeout=)``/``exception(timeout=)`` hitting the deadline
+    raise ``SchedulerError`` but must not poison the handle — a later
+    untimed wait returns the correct result — and must not count as a
+    failure in the session metrics (the solve itself never failed)."""
+    d, e = _problem(n=600)
+    lam0, V0 = dc_eigh(d, e)
+    with SolverSession(backend=backend, n_workers=2) as s:
+        h = s.submit(d, e)
+        with pytest.raises(SchedulerError, match="timed out"):
+            h.result(timeout=1e-6)
+        with pytest.raises(SchedulerError, match="timed out"):
+            h.exception(timeout=1e-9)
+        lam, V = h.result()               # untimed: blocks to completion
+        np.testing.assert_array_equal(lam0, lam)
+        np.testing.assert_array_equal(V0, V)
+        assert h.exception() is None
+        assert h.done()
+        assert s.metrics.failures == 0    # no phantom failure recorded
+        assert s.metrics.solves == 1
+
+
 def test_close_drains_outstanding_solves():
     problems = [_problem(seed=s) for s in range(4)]
     s = SolverSession(backend="threads", n_workers=2)
