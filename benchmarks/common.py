@@ -126,8 +126,23 @@ def load_bench_json(path: str) -> dict:
 
 @functools.lru_cache(maxsize=64)
 def matrix(mtype: int, n: int, seed: int = 0):
-    """Cached Table III matrix."""
-    return test_matrix(mtype, n, seed=seed)
+    """Cached Table III matrix.
+
+    Backed by an on-disk cache under ``benchmarks/results``: the
+    prescribed-spectrum types are generated through a dense Haar
+    similarity plus tridiagonalization — O(n³), ~half an hour at
+    n=10000 on one core — while the (d, e) arrays themselves are 2n
+    doubles.  Generation is deterministic, so caching is safe.
+    """
+    cache_dir = os.path.join(RESULTS_DIR, "matcache")
+    path = os.path.join(cache_dir, f"t{mtype}_n{n}_s{seed}.npz")
+    if os.path.exists(path):
+        with np.load(path) as z:
+            return z["d"], z["e"]
+    d, e = test_matrix(mtype, n, seed=seed)
+    os.makedirs(cache_dir, exist_ok=True)
+    np.savez(path, d=d, e=e)
+    return d, e
 
 
 class SolvedGraph:

@@ -5,12 +5,14 @@ from .accuracy import (orthogonality_error, tridiagonal_residual,
 from .complexity import (merge_step_costs, worst_case_flops,
                          total_merge_flops, deflation_summary)
 from .traces import mrrr_task_graph, mrrr_makespan, speedup_curve
-from .memory import dc_workspace_bytes, mrrr_workspace_bytes, workspace_report
+from .memory import (dc_workspace_bytes, mrrr_workspace_bytes,
+                     solve_high_water_bytes, workspace_report)
 
 __all__ = [
     "orthogonality_error", "tridiagonal_residual", "eigenvalue_error",
     "merge_step_costs", "worst_case_flops", "total_merge_flops",
     "deflation_summary", "mrrr_task_graph", "mrrr_makespan",
     "speedup_curve", "dc_workspace_bytes", "mrrr_workspace_bytes",
+    "solve_high_water_bytes",
     "workspace_report",
 ]

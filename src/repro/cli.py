@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--subset", default=None, metavar="I0:I1",
                    help="eigenpair index range, e.g. 0:10 "
                         "(dc and mrrr solvers)")
+    s.add_argument("--jobz", default="V", choices=["V", "N"],
+                   help="V = eigenpairs (default); N = eigenvalues only "
+                        "via the O(n)-state reduced DAG (dc solver only)")
     s.add_argument("--repeat", type=int, default=1,
                    help="solve the problem N times (throughput mode; "
                         "reports per-solve latency percentiles)")
@@ -99,6 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="scheduler configuration (Fig. 3 variants)")
     t.add_argument("--nb", type=int, default=None,
                    help="panel width override (default: auto)")
+    t.add_argument("--jobz", default="V", choices=["V", "N"],
+                   help="V = eigenpairs (default); N = eigenvalues only "
+                        "(trace the reduced strip DAG)")
     t.add_argument("--priority-mode", default=None,
                    choices=["none", "blevel"],
                    help="task priorities: b-level critical path (default) "
@@ -171,7 +177,8 @@ def _cmd_solve(args) -> int:
         from .errors import ReproError
         from .runtime.faults import FaultSpec
         inject = getattr(args, "inject", None)
-        opts = DCOptions(reuse_graph=bool(getattr(args, "reuse_graph",
+        opts = DCOptions(jobz=getattr(args, "jobz", "V"),
+                         reuse_graph=bool(getattr(args, "reuse_graph",
                                                   False)),
                          fault_injection=(FaultSpec.parse(inject)
                                           if inject else None),
@@ -226,8 +233,12 @@ def _cmd_solve(args) -> int:
             print(f"latency : {_latency_line(latencies)}")
     print(f"time    : {dt:.3f} s")
     print(f"lambda  : [{lam[0]:.6g} .. {lam[-1]:.6g}]")
-    print(f"orth    : {orthogonality_error(V):.2e}")
-    print(f"resid   : {tridiagonal_residual(d, e, lam, V):.2e}")
+    if V is None:
+        print("orth    : n/a (jobz=N, eigenvalues only)")
+        print("resid   : n/a (jobz=N, eigenvalues only)")
+    else:
+        print(f"orth    : {orthogonality_error(V):.2e}")
+        print(f"resid   : {tridiagonal_residual(d, e, lam, V):.2e}")
     return 0
 
 
@@ -248,6 +259,8 @@ def _cmd_trace(args) -> int:
                                            telemetry=collector)
     if getattr(args, "nb", None) is not None:
         opts = opts.with_(nb=args.nb)
+    if getattr(args, "jobz", "V") != "V":
+        opts = opts.with_(jobz=args.jobz)
     if getattr(args, "priority_mode", None):
         opts = opts.with_(priority_mode=args.priority_mode)
     res = dc_eigh(d, e, options=opts, backend=args.backend,

@@ -20,7 +20,8 @@ __all__ = [
     "cost_compute_deflation", "cost_apply_givens", "cost_permute",
     "cost_laed4", "cost_local_w", "cost_reduce_w", "cost_copyback",
     "cost_compute_vect", "cost_update_vect", "cost_stedc", "cost_laset",
-    "cost_sort", "cost_scale",
+    "cost_sort", "cost_scale", "cost_strip_rotate", "cost_strip_permute",
+    "cost_strip_update", "cost_update_eig",
 ]
 
 
@@ -77,6 +78,28 @@ def cost_compute_vect(k: int, m: int) -> TaskCost:
 def cost_update_vect(n1: int, n2: int, k12: int, k23: int, m: int) -> TaskCost:
     """Structured GEMM of the merge (Θ(n·k²) total over panels)."""
     return TaskCost(flops=2.0 * m * (n1 * k12 + n2 * k23))
+
+
+def cost_strip_rotate(n_node: int, n_rot: float) -> TaskCost:
+    """GivensStrip: stack the 2×n_node strip + 6 flops per rotated
+    2-vector pair (two rows instead of n_node)."""
+    return TaskCost(flops=12.0 * n_rot, bytes_moved=32.0 * n_node)
+
+
+def cost_strip_permute(n_node: int) -> TaskCost:
+    """PermuteStrip: gather 2·n_node doubles."""
+    return TaskCost(bytes_moved=32.0 * n_node)
+
+
+def cost_strip_update(k: int, m: int) -> TaskCost:
+    """UpdateStrip: transient secular columns (Θ(k·m), as ComputeVect)
+    plus the two row·X products (4 flops per element)."""
+    return TaskCost(flops=9.0 * k * m)
+
+
+def cost_update_eig(m: int) -> TaskCost:
+    """UpdateEig: eigenvalue writes of one root panel (pure copy)."""
+    return TaskCost(bytes_moved=16.0 * m)
 
 
 def cost_stedc(m: int) -> TaskCost:

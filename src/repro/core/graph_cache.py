@@ -50,6 +50,9 @@ def template_key(n: int, opts: DCOptions,
                  subset_size: Optional[int] = None) -> tuple:
     """Cache key: everything the DAG shape (or its binding) depends on.
 
+    ``jobz`` leads the shape fields: the compute mode selects the kernel
+    set itself ('N' drops the whole eigenvector pipeline), so 'N' and
+    'V' templates of one shape must never collide.
     ``deflation_tol_factor`` is deliberately excluded — it changes task
     *work*, never the graph.  The subset size does not change the graph
     either, but it selects the root-merge output restriction, so it is
@@ -70,9 +73,9 @@ def template_key(n: int, opts: DCOptions,
                   opts.resolved_parallelism() if adaptive else 0,
                   get_calibration().key
                   if (adaptive or opts.priority_mode == "blevel") else None)
-    return (n, opts.minpart, opts.effective_nb(n), opts.fork_join,
-            opts.level_barrier, opts.extra_workspace, subset_size,
-            scheduling)
+    return (n, opts.jobz, opts.minpart, opts.effective_nb(n),
+            opts.fork_join, opts.level_barrier, opts.extra_workspace,
+            subset_size, scheduling)
 
 
 class _TaskDescriptor:
@@ -113,6 +116,12 @@ _DYNAMIC_COSTS: dict[str, Callable[..., Callable[[], TaskCost]]] = {
         lambda: costs.cost_compute_vect(st.k, st.clip_roots(p0, p1).size)),
     "UpdateVect": lambda st, p0, p1: (
         lambda: costs.cost_update_vect(*st.update_vect_shape(p0, p1))),
+    "GivensStrip": lambda st: (
+        lambda: costs.cost_strip_rotate(st.n, st.strip_rotations())),
+    "UpdateStrip": lambda st, p0, p1: (
+        lambda: costs.cost_strip_update(st.k, st.clip_roots(p0, p1).size)),
+    "UpdateEig": lambda st, p0, p1: (
+        lambda: costs.cost_update_eig(st.clip_roots(p0, p1).size)),
 }
 
 

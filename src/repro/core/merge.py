@@ -3,9 +3,18 @@
 Every function here is the *work* of one task of the merge DAG; the task
 graph wiring lives in :mod:`repro.core.tasks`.  All state flows through
 :class:`DCContext` (one per solve: the eigenvalue array ``D``, the
-eigenvector matrix ``V`` and the permute workspace ``Vws``) and
-:class:`MergeState` (one per merge node: deflation output, secular
-roots, stabilized ẑ and the secular eigenvector block X).
+eigenvector matrix ``V``, the permute workspace ``Vws`` and the 2×n
+boundary-row strips ``S``/``P``/``Pws``) and :class:`MergeState` (one
+per merge node: deflation output, secular roots, stabilized ẑ and the
+secular eigenvector block X).
+
+Compute modes (``DCOptions.jobz``): ``'V'`` runs the full pipeline;
+``'N'`` (eigenvalues only) drops ``V``/``Vws`` entirely (both are
+``None``) and the O(n²)/O(n³) eigenvector kernels with them — only the
+strips survive, carrying the two boundary rows each merge needs to form
+its rank-one z.  Both modes source z from the same strip kernels (see
+:mod:`repro.kernels.strips`), so the eigenvalues are bitwise identical
+between them by construction.
 
 Column storage convention: after a merge, the node's columns are stored
 in *compressed order* — the k non-deflated eigenpairs first (grouped by
@@ -32,6 +41,8 @@ from ..kernels.secular import solve_secular
 from ..kernels.stabilize import (eigenvector_columns, local_w_product,
                                  reduce_w)
 from ..kernels.steqr import steqr
+from ..kernels.strips import (permute_strip, rotate_strip_columns,
+                              stack_boundary_rows, strip_row_products)
 from ..obs.recorder import NULL_RECORDER
 from .options import DCOptions
 from .tree import Node
@@ -111,14 +122,27 @@ class DCContext:
         # zeroes all of V, PermuteV/SortEigenvectors write every Vws
         # location later read), so recycled contents never leak into
         # results — numerics are bitwise identical either way.
+        # Boundary-row strips (see repro.kernels.strips): S holds each
+        # completed node's two boundary rows, P/Pws are the per-merge
+        # stacked and permuted working strips.  Allocated in BOTH modes
+        # (6n doubles) — z is always derived from them — while the n²
+        # buffers V/Vws exist only when eigenvectors are requested.
+        # Dirty reuse of pooled strips is exact: every leaf writes its
+        # S columns before any read, GivensStrip writes P[:, lo:hi]
+        # before PermuteStrip reads it, and PermuteStrip writes
+        # Pws[:, lo:hi] before UpdateStrip reads it.
         self.workspace = workspace
         self._d_pooled = False
+        jobz_v = opts.jobz == "V"
         if buffers is not None:
-            # Process-backend replica: D/V/Vws are externally managed
+            # Process-backend replica: the buffers are externally managed
             # views of shared-memory segments owned by the parent pool.
             self.D = buffers["D"]
-            self.V = buffers["V"]
-            self.Vws = buffers["Vws"]
+            self.V = buffers.get("V")
+            self.Vws = buffers.get("Vws")
+            self.S = buffers["S"]
+            self.P = buffers["P"]
+            self.Pws = buffers["Pws"]
         elif workspace is not None:
             # A shared (process-backend) pool must also serve D so child
             # processes see eigenvalue writes; dirty reuse is exact for
@@ -129,12 +153,18 @@ class DCContext:
                 self._d_pooled = True
             else:
                 self.D = np.zeros(n)
-            self.V = workspace.take((n, n))
-            self.Vws = workspace.take((n, n))
+            self.V = workspace.take((n, n)) if jobz_v else None
+            self.Vws = workspace.take((n, n)) if jobz_v else None
+            self.S = workspace.take((2, n))
+            self.P = workspace.take((2, n))
+            self.Pws = workspace.take((2, n))
         else:
             self.D = np.zeros(n)
-            self.V = np.zeros((n, n), order="F")
-            self.Vws = np.zeros((n, n), order="F")
+            self.V = np.zeros((n, n), order="F") if jobz_v else None
+            self.Vws = np.zeros((n, n), order="F") if jobz_v else None
+            self.S = np.zeros((2, n), order="F")
+            self.P = np.zeros((2, n), order="F")
+            self.Pws = np.zeros((2, n), order="F")
         # Process backend: child replicas defer the secular-failure
         # STEQR fallback to the parent dispatcher (exclusive access).
         self._defer_fallback = False
@@ -179,7 +209,13 @@ class DCContext:
         lo, hi = node.lo, node.hi
         lam, Vl = steqr(self.d_adj[lo:hi], self.e[lo:hi - 1])
         self.D[lo:hi] = lam
-        self.V[lo:hi, lo:hi] = Vl
+        if self.V is not None:
+            self.V[lo:hi, lo:hi] = Vl
+        # Seed the boundary-row strip with the leaf's first/last
+        # eigenvector rows (exact copies of the steqr output, so V-mode
+        # level-1 merges see the same z bits as always).
+        self.S[0, lo:hi] = Vl[0, :]
+        self.S[1, lo:hi] = Vl[hi - lo - 1, :]
 
     def t_sort_join(self) -> None:
         order = np.argsort(self.D, kind="stable")
@@ -196,7 +232,9 @@ class DCContext:
     def t_scale_back(self) -> None:
         self.scale_info.unscale_eigenvalues(self.D_sorted)
 
-    def result(self) -> tuple[np.ndarray, np.ndarray]:
+    def result(self) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        if self.Vws is None:            # jobz='N': eigenvalues only
+            return self.D_sorted, None
         if self.subset is not None:
             return self.D_sorted, self.Vws[:, :self.subset.shape[0]]
         return self.D_sorted, self.Vws
@@ -219,13 +257,20 @@ class DCContext:
             if st.X is not None and st.X.size:
                 ws.release(st.X)
             st.X = None
-        ws.release(self.V)
-        self.V = None
+        for buf in (self.S, self.P, self.Pws):
+            if buf is not None:
+                ws.release(buf)
+        self.S = self.P = self.Pws = None
+        if self.V is not None:
+            ws.release(self.V)
+            self.V = None
         if self._d_pooled:
             ws.release(self.D)
             self.D = None
             self._d_pooled = False
-        if keep_result:
+        if self.Vws is None:
+            pass                        # jobz='N': nothing to hand out
+        elif keep_result:
             ws.forget(self.Vws)
         else:
             ws.release(self.Vws)
@@ -258,19 +303,25 @@ class MergeState:
         # Graceful degradation: when the secular solve of this merge
         # fails (no convergence / non-finite roots), the merge falls
         # back to STEQR on its subproblem.  The rewrite must happen
-        # after *every* writer of the node's eigenvector block has
-        # finished — CopyBackDeflated and UpdateVect panels share one
-        # GATHERV group on hV, so they carry no mutual edges and run
-        # concurrently under the threads backend.  Each of the 2·npan
-        # writer tasks decrements the countdown when it completes; the
-        # last one performs the fallback.  Detection always precedes the
-        # last writer: every UpdateVect depends (transitively, through
-        # ReduceW → hW → ComputeVect) on every LAED4 panel.
+        # after *every* writer of the node's output block has finished —
+        # the writer panels share one GATHERV group on hV, so they carry
+        # no mutual edges and run concurrently under the threads
+        # backend.  Each writer task decrements the countdown when it
+        # completes; the last one performs the fallback.  Detection
+        # always precedes the last writer: every writer depends
+        # (transitively, through ReduceW → hW) on every LAED4 panel.
+        # Writers per mode: jobz='V' has CopyBackDeflated + UpdateVect
+        # (+ UpdateStrip below the root); jobz='N' has UpdateStrip only
+        # (UpdateEig at the root).
         self.secular_failed = False
         self.fallback_exc: Optional[BaseException] = None
         self._flock = threading.Lock()
-        self._writers_left = 2 * len(
-            panel_ranges(node.n, ctx.opts.node_nb(node.n, ctx.n)))
+        npan = len(panel_ranges(node.n, ctx.opts.node_nb(node.n, ctx.n)))
+        is_root = node.n == ctx.n
+        if ctx.opts.jobz == "N":
+            self._writers_left = npan
+        else:
+            self._writers_left = 2 * npan + (0 if is_root else npan)
 
     # convenience ----------------------------------------------------------
     @property
@@ -338,8 +389,12 @@ class MergeState:
                 f"({self.fallback_exc}) and the STEQR fallback "
                 f"also failed") from exc
         ctx.D[lo:hi] = lam
-        ctx.V[:, lo:hi] = 0.0
-        ctx.V[lo:hi, lo:hi] = Vb
+        if ctx.V is not None:
+            ctx.V[:, lo:hi] = 0.0
+            ctx.V[lo:hi, lo:hi] = Vb
+        # Rewrite the strip too: the parent's z reads it.
+        ctx.S[0, lo:hi] = Vb[0, :]
+        ctx.S[1, lo:hi] = Vb[hi - lo - 1, :]
         self.stats.fallback = True
         obs = ctx.obs
         if obs.enabled:
@@ -351,7 +406,10 @@ class MergeState:
         lo, mid, hi = self.lo, self.mid, self.hi
         beta = float(ctx.e[mid - 1])
         dvals = ctx.D[lo:hi]
-        z = np.concatenate([ctx.V[mid - 1, lo:mid], ctx.V[mid, mid:hi]])
+        # Rank-one vector (Eq. 4): last row of the left child's block,
+        # first row of the right child's — read from the boundary-row
+        # strips, the single z source of both compute modes.
+        z = np.concatenate([ctx.S[1, lo:mid], ctx.S[0, mid:hi]])
         self.defl = deflate(dvals, z, beta, mid - lo,
                             tol_factor=ctx.opts.deflation_tol_factor)
         self.chains = rotation_chains(self.defl.rotations)
@@ -367,8 +425,11 @@ class MergeState:
         # Secular eigenvector block: pooled when the solve has a
         # workspace arena (every column of X is written by a ComputeVect
         # panel before UpdateVect reads it, so recycling is exact).
+        # jobz='N' never materializes the k×k block — UpdateStrip forms
+        # its own transient k×m panel — which is what kills the O(n²)
+        # term of the merge.
         ws = ctx.workspace
-        if k:
+        if k and ctx.opts.jobz == "V":
             self.X = np.zeros((k, k), order="F") if ws is None \
                 else ws.take((k, k))
         else:
@@ -391,12 +452,13 @@ class MergeState:
                              (len(c) for c in self.chains))
             obs.add("merge.rotations", n_rot)
             obs.add("merge.count")
-            obs.gauge_max("workspace.x_block_bytes", 8 * k * k)
+            obs.gauge_max("workspace.x_block_bytes", 8 * self.X.size)
             if self.n == ctx.n:       # root merge: the solve's peak
                 from ..analysis.memory import solve_high_water_bytes
                 obs.gauge_max("workspace.high_water_bytes",
                               solve_high_water_bytes(
-                                  ctx.n, k, ctx.opts.extra_workspace))
+                                  ctx.n, k, ctx.opts.extra_workspace,
+                                  jobz=ctx.opts.jobz))
 
     def t_apply_givens(self, group: int, n_groups: int) -> None:
         """Apply the deflating rotations of chains ``group mod n_groups``.
@@ -673,3 +735,92 @@ class MergeState:
         k1, k2, _ = self.defl.ctot
         m = int(self.update_cols(p0, p1).size)
         return (self.n1, self.n - self.n1, k1 + k2, self.k - k1, m)
+
+    # -- boundary-row strip kernels (both modes; see kernels.strips) -------
+    def t_givens_strip(self) -> None:
+        """Stack the children's boundary rows into the working strip P
+        and apply this merge's deflating rotations to it.
+
+        Single task per merge (O(n_node) work): the strip is 2 rows, so
+        panelization would be all dispatch overhead.  Depends only on
+        hdefl — Compute_deflation already ordered us after every writer
+        of the child blocks."""
+        ctx = self.ctx
+        stack_boundary_rows(ctx.S, ctx.P, self.lo, self.mid, self.hi)
+        rotate_strip_columns(ctx.P, self.lo, self.chains)
+
+    def t_permute_strip(self) -> None:
+        """Gather the working strip into compressed column order."""
+        ctx = self.ctx
+        permute_strip(ctx.P, ctx.Pws, self.lo, self.defl.perm)
+
+    def t_strip_update_panel(self, p0: int, p1: int) -> None:
+        """Form the merged node's strip columns of panel [p0, p1).
+
+        Non-deflated columns get the two ``row·X`` secular products
+        (the strip restriction of UpdateVect's structured GEMM) from a
+        *transient* k×m eigenvector panel — never the stored n²-backed
+        ``self.X``, so jobz='N' allocates O(k·nb) at peak.  Deflated
+        columns are copied from the permuted strip (the CopyBackDeflated
+        restriction).  In jobz='N' this panel is also the eigenvalue
+        writer (lam for roots, d_defl for deflated); in jobz='V' the
+        classic kernels own D and this writes the strip only."""
+        try:
+            if self.secular_failed:
+                # Final here (ordered after ReduceW and all LAED4).
+                return
+            ctx = self.ctx
+            d = self.defl
+            lo = self.lo
+            k = self.k
+            n_node = self.n
+            eig_only = ctx.V is None
+            a, b = max(p0, k), min(p1, n_node)
+            if a < b:
+                ctx.S[:, lo + a:lo + b] = ctx.Pws[:, lo + a:lo + b]
+                if eig_only:
+                    ctx.D[lo + a:lo + b] = d.d_defl[a - k:b - k]
+            roots = self.clip_roots(p0, p1)
+            if roots.size == 0:
+                return
+            if eig_only:
+                ctx.D[lo + roots] = self.lam[roots]
+            # Strips feed the *parent's* z, so no subset restriction —
+            # every non-deflated column is formed.
+            k1, k2, _ = d.ctot
+            k12 = k1 + k2
+            Xp = eigenvector_columns(d.dlamda, self.orig[roots],
+                                     self.tau[roots], self.zhat,
+                                     row_order=d.rowidx)
+            top, bot = strip_row_products(ctx.Pws[0, lo:lo + k12],
+                                          ctx.Pws[1, lo + k1:lo + k],
+                                          Xp, k1)
+            dst = slice(lo + int(roots[0]), lo + int(roots[-1]) + 1)
+            ctx.S[0, dst] = top
+            ctx.S[1, dst] = bot
+        finally:
+            self._writer_done()
+
+    def t_update_eig_panel(self, p0: int, p1: int) -> None:
+        """jobz='N' root merge: write the eigenvalues of panel [p0, p1)
+        (lam for secular roots, d_defl for deflated columns) — no strip
+        products, the root's strip has no consumer."""
+        try:
+            if self.secular_failed:
+                return
+            ctx = self.ctx
+            d = self.defl
+            lo = self.lo
+            k = self.k
+            a, b = max(p0, k), min(p1, self.n)
+            if a < b:
+                ctx.D[lo + a:lo + b] = d.d_defl[a - k:b - k]
+            roots = self.clip_roots(p0, p1)
+            if roots.size:
+                ctx.D[lo + roots] = self.lam[roots]
+        finally:
+            self._writer_done()
+
+    def strip_rotations(self) -> int:
+        """Rotation count for the GivensStrip cost model."""
+        return sum(len(c) for c in self.chains)

@@ -22,6 +22,20 @@ _ADAPTIVE_OVERHEAD_RATIO = 20
 class DCOptions:
     """Knobs of the task-flow Divide & Conquer eigensolver.
 
+    ``jobz``
+        Compute mode, after LAPACK's ``jobz`` argument.  ``"V"``
+        (default) computes eigenvalues and eigenvectors — bitwise
+        identical to the historical pipeline.  ``"N"`` computes
+        eigenvalues only: the graph builder emits a reduced kernel set
+        in which the O(n³) eigenvector machinery (``UpdateVect`` GEMMs,
+        ``PermuteV``, ``CopyBackDeflated``, full ``ComputeVect``) is
+        replaced by O(k)-per-panel boundary-row *strip* kernels
+        (``GivensStrip``/``PermuteStrip``/``UpdateStrip``) that carry
+        only the 2 boundary rows of each subproblem's eigenvector
+        matrix through the merge tree — enough to form every level's
+        rank-one z — so per-solve auxiliary memory drops from O(n²) to
+        O(n).  Eigenvalues are bitwise identical between the modes;
+        ``result()``/``dc_eigh`` return ``V = None`` in ``"N"`` mode.
     ``minpart``
         Maximal size of a leaf subproblem (the paper's "minimal partition
         size"; 300 in the Fig. 2 example, LAPACK uses 25).  Leaves are
@@ -106,6 +120,7 @@ class DCOptions:
         writes nothing; numerics are unaffected either way.
     """
 
+    jobz: str = "V"
     minpart: int = 64
     nb: int | None = None
     extra_workspace: bool = True
@@ -121,6 +136,8 @@ class DCOptions:
     postmortem_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.jobz not in ("V", "N"):
+            raise ValueError(f"jobz must be 'V' or 'N', got {self.jobz!r}")
         if self.minpart < 1:
             raise ValueError("minpart must be >= 1")
         if self.nb is not None and self.nb < 1:

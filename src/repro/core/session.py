@@ -271,10 +271,17 @@ class SharedWorkspacePool(WorkspacePool):
         with self._seg_lock:
             self._segs[name] = (shm, arr)
             self._by_id[id(arr)] = name
+        rec = self.recorder
         with self._lock:
             self.owned_bytes += arr.nbytes
             if self.owned_bytes > self.high_water_bytes:
                 self.high_water_bytes = self.owned_bytes
+            # Adopted child segments are real auxiliary memory of the
+            # solve: fold them into the same telemetry gauge that
+            # parent-side allocations feed.
+            if rec.enabled:
+                rec.gauge_max("workspace.high_water_bytes",
+                              self.high_water_bytes)
         return arr
 
     def close(self) -> None:
@@ -637,7 +644,8 @@ class SolverSession:
         except Exception:
             merge_stats = []
         self.metrics.note_solve(handle.latency_s, merge_stats,
-                                failed=error is not None, n_tasks=n_tasks)
+                                failed=error is not None, n_tasks=n_tasks,
+                                jobz=opts.jobz)
         fallback = any(s.fallback for s in merge_stats)
         if self.flight is not None:
             self.flight.record("solve.fail" if error is not None
@@ -662,9 +670,11 @@ class SolverSession:
             pass        # an unwritable crash dir must not mask the solve
 
     def _solve_n1(self, d, e, subset, full_result, opts) -> SolveHandle:
-        # The 1x1 fast path honours `subset` like the general path.
+        # The 1x1 fast path honours `subset` and `jobz` like the
+        # general path.
         lam = d.copy() if subset is None else d[subset]
-        V = np.ones((1, 1 if subset is None else subset.shape[0]))
+        V = None if opts.jobz == "N" else \
+            np.ones((1, 1 if subset is None else subset.shape[0]))
         h = SolveHandle(full=full_result)
         if full_result:
             from .solver import DCResult
@@ -676,7 +686,7 @@ class SolverSession:
             h._value = (lam, V)
         h._has_value = True
         h.t_done = time.perf_counter()
-        self.metrics.note_solve(h.latency_s)
+        self.metrics.note_solve(h.latency_s, jobz=opts.jobz)
         return h
 
     def _submit_inline(self, d, e, subset, full_result, opts) -> SolveHandle:
@@ -702,6 +712,7 @@ class SolverSession:
                 n_tasks = len(graph.tasks)
                 if obs.enabled:
                     obs.add("solve.count")
+                    obs.add(f"solve.jobz.{opts.jobz}")
                     obs.add("solve.tasks_submitted", n_tasks)
                 with obs.span("execute"):
                     trace = quark.barrier()
@@ -736,6 +747,7 @@ class SolverSession:
                         if opts.fault_injection is not None else None)
             if obs.enabled:
                 obs.add("solve.count")
+                obs.add(f"solve.jobz.{opts.jobz}")
                 obs.add("solve.tasks_submitted", len(graph.tasks))
             handle = SolveHandle(ctx=ctx, graph=graph, info=info,
                                  full=full_result)
@@ -754,12 +766,14 @@ class SolverSession:
                     # result cannot alias them.  np.copy preserves the
                     # bytes exactly — bitwise identity is unaffected.
                     lam, V = h._ctx.result()
+                    if V is not None:       # jobz='N' has no vectors
+                        V = V.copy(order="F")
                     if h._full:
                         from .solver import DCResult
-                        h._value = DCResult(lam, V.copy(order="F"),
-                                            run.trace, h._graph, h._info)
+                        h._value = DCResult(lam, V, run.trace,
+                                            h._graph, h._info)
                     else:
-                        h._value = (lam, V.copy(order="F"))
+                        h._value = (lam, V)
                     h._has_value = True
                 h._ctx.release_workspace(
                     h._info.states.values(),

@@ -16,6 +16,11 @@ The same task graph runs on any runtime backend:
   virtual multicore (timing studies; numerics identical).
 
 All backends produce bitwise-identical ``(lam, V)``.
+
+``DCOptions(jobz="N")`` requests eigenvalues only: the solver runs the
+reduced boundary-row-strip DAG (O(n) auxiliary state, no cubic GEMM)
+and returns ``V = None``.  The eigenvalues are bitwise identical to the
+``jobz="V"`` path on every backend.
 """
 
 from __future__ import annotations
@@ -42,10 +47,11 @@ class DCResult:
     """Eigen-decomposition plus solve diagnostics.
 
     ``lam``/``V`` satisfy ``T V = V diag(lam)`` with ``lam`` ascending.
+    ``V`` is ``None`` for an eigenvalue-only solve (``jobz="N"``).
     """
 
     lam: np.ndarray
-    V: np.ndarray
+    V: Optional[np.ndarray]
     trace: Trace
     graph: TaskGraph
     info: DCGraphInfo
@@ -108,7 +114,8 @@ def dc_eigh(d: np.ndarray, e: np.ndarray, *,
     Returns
     -------
     ``(lam, V)`` with ascending eigenvalues and orthonormal eigenvector
-    columns, or a :class:`DCResult`.
+    columns, or a :class:`DCResult`.  With ``options.jobz == "N"`` the
+    eigenvalues are identical (bitwise) and ``V`` is ``None``.
 
     Implemented as a one-shot :class:`~repro.core.session.SolverSession`
     (no persistent pool, no workspace arena), so single-solve numerics

@@ -22,6 +22,17 @@ extra dependencies:
   (Fig. 3(b));
 * without either, independent merges overlap freely (Fig. 3(c) — the
   paper's contribution).
+
+Compute modes (``DCOptions.jobz``): both modes share the deflation /
+secular / stabilization spine and the boundary-row *strip* kernels
+(``GivensStrip``/``PermuteStrip``/``UpdateStrip``) that carry each
+node's two boundary rows — the single source of every merge's rank-one
+z.  ``'V'`` additionally runs the classic eigenvector kernels
+(``LASET``, ``ApplyGivens``, ``PermuteV``, ``CopyBackDeflated``,
+``ComputeVect``, ``UpdateVect``, per-panel ``SortEigenvectors``);
+``'N'`` omits them all — no O(n·k) task remains, the root merge writes
+eigenvalues with O(m)-per-panel ``UpdateEig`` tasks, and the DAG's
+auxiliary state is O(n).
 """
 
 from __future__ import annotations
@@ -121,9 +132,10 @@ def submit_dc(graph: TaskGraph, ctx: DCContext,
     for leaf in tree.leaves():
         h = DataHandle(f"V[{leaf.lo}:{leaf.hi}]")
         info.hV[(leaf.lo, leaf.hi)] = h
-        ins(ctx.t_laset, acc([(h, OUTPUT)]), args=(leaf,),
-            name="LASET", tag=(leaf.lo, leaf.hi),
-            est=costs.cost_laset(n, leaf.n))
+        if opts.jobz == "V":
+            ins(ctx.t_laset, acc([(h, OUTPUT)]), args=(leaf,),
+                name="LASET", tag=(leaf.lo, leaf.hi),
+                est=costs.cost_laset(n, leaf.n))
         ins(ctx.t_stedc_leaf,
             acc([(hT, INPUT), (h, INOUT)]), args=(leaf,),
             name="STEDC", tag=(leaf.lo, leaf.hi),
@@ -153,14 +165,20 @@ def submit_dc(graph: TaskGraph, ctx: DCContext,
     hsort = DataHandle("sort-order")
     ins(ctx.t_sort_join, acc([(hroot, INPUT), (hsort, OUTPUT)]),
         name="SortEigenvectors", est=costs.cost_scale(n))
-    hVout = DataHandle("V-sorted")
-    for (p0, p1) in panel_ranges(n, opts.node_nb(n, n)):
-        ins(ctx.t_sort_panel,
-            acc([(hsort, INPUT), (hroot, INPUT), (hVout, GATHERV)]),
-            args=(p0, p1), name="SortEigenvectors", tag=("sort", p0),
-            est=costs.cost_sort(n, p1 - p0))
-    ins(ctx.t_scale_back, acc([(hsort, INPUT), (hVout, INOUT)]),
-        name="ScaleBack", est=costs.cost_scale(n))
+    if opts.jobz == "V":
+        hVout = DataHandle("V-sorted")
+        for (p0, p1) in panel_ranges(n, opts.node_nb(n, n)):
+            ins(ctx.t_sort_panel,
+                acc([(hsort, INPUT), (hroot, INPUT), (hVout, GATHERV)]),
+                args=(p0, p1), name="SortEigenvectors", tag=("sort", p0),
+                est=costs.cost_sort(n, p1 - p0))
+        ins(ctx.t_scale_back, acc([(hsort, INPUT), (hVout, INOUT)]),
+            name="ScaleBack", est=costs.cost_scale(n))
+    else:
+        # jobz='N': no eigenvector panels to reorder, only the
+        # eigenvalue array is unscaled.
+        ins(ctx.t_scale_back, acc([(hsort, INOUT)]),
+            name="ScaleBack", est=costs.cost_scale(n))
 
     if estimates is not None:
         _assign_blevels(graph, start, estimates, rec)
@@ -214,6 +232,10 @@ def _merge_estimates(node_n: int, npan: int, n_rot_groups: int,
         "ComputeVect": costs.cost_compute_vect(k, mk),
         "UpdateVect": costs.cost_update_vect(n1, node_n - n1,
                                              k - k // 2, k // 2, m),
+        "GivensStrip": costs.cost_strip_rotate(node_n, d * node_n),
+        "PermuteStrip": costs.cost_strip_permute(node_n),
+        "UpdateStrip": costs.cost_strip_update(k, mk),
+        "UpdateEig": costs.cost_update_eig(m),
     }
 
 
@@ -221,6 +243,8 @@ def _submit_merge(ins, info: DCGraphInfo, node: Node,
                   acc, level_barrier: Optional[DataHandle]) -> None:
     ctx = info.ctx
     opts = ctx.opts
+    eig_only = opts.jobz == "N"
+    is_root = node.n == ctx.n
     st = MergeState(ctx, node)
     info.states[(node.lo, node.hi)] = st
 
@@ -251,27 +275,44 @@ def _submit_merge(ins, info: DCGraphInfo, node: Node,
         name="Compute_deflation", tag=tag,
         est=costs.cost_compute_deflation(node.n))
 
-    for g in range(n_rot_groups):
-        ins(st.t_apply_givens,
-            acc([(hdefl, INPUT), (hL, GATHERV), (hR, GATHERV)]),
-            args=(g, n_rot_groups), name="ApplyGivens", tag=tag,
-            est=est["ApplyGivens"],
-            cost=(lambda s=st, g=g, m=n_rot_groups:
-                  costs.cost_apply_givens(
-                      s.n, sum(len(c) for c in s.chains[g::m]))))
+    # Boundary-row strip pipeline (both modes; skipped at the root, whose
+    # strip has no consumer).  One task each — the strip is 2 rows, so
+    # panelization would be pure dispatch overhead.  hdefl alone orders
+    # GivensStrip after every writer of the child blocks (through
+    # Compute_deflation's hL/hR inputs).
+    if not is_root:
+        hP = DataHandle(f"P[{node.lo}:{node.hi}]")
+        hPws = DataHandle(f"Pws[{node.lo}:{node.hi}]")
+        ins(st.t_givens_strip, acc([(hdefl, INPUT), (hP, OUTPUT)]),
+            name="GivensStrip", tag=tag, est=est["GivensStrip"],
+            cost=(lambda s=st:
+                  costs.cost_strip_rotate(s.n, s.strip_rotations())))
+        ins(st.t_permute_strip,
+            acc([(hdefl, INPUT), (hP, INPUT), (hPws, OUTPUT)]),
+            name="PermuteStrip", tag=tag, est=est["PermuteStrip"])
 
-    for pid, (p0, p1) in enumerate(panels):
-        ins(st.t_permute_panel,
-            acc([(hdefl, INPUT), (hL, INPUT), (hR, INPUT),
-                 (hVws, GATHERV)]),
-            args=(p0, p1), name="PermuteV", tag=tag,
-            est=est["PermuteV"],
-            cost=(lambda s=st, a=p0, b=p1:
-                  costs.cost_permute(s.permute_rows_moved(a, b))))
+    if not eig_only:
+        for g in range(n_rot_groups):
+            ins(st.t_apply_givens,
+                acc([(hdefl, INPUT), (hL, GATHERV), (hR, GATHERV)]),
+                args=(g, n_rot_groups), name="ApplyGivens", tag=tag,
+                est=est["ApplyGivens"],
+                cost=(lambda s=st, g=g, m=n_rot_groups:
+                      costs.cost_apply_givens(
+                          s.n, sum(len(c) for c in s.chains[g::m]))))
+
+        for pid, (p0, p1) in enumerate(panels):
+            ins(st.t_permute_panel,
+                acc([(hdefl, INPUT), (hL, INPUT), (hR, INPUT),
+                     (hVws, GATHERV)]),
+                args=(p0, p1), name="PermuteV", tag=tag,
+                est=est["PermuteV"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_permute(s.permute_rows_moved(a, b))))
 
     for pid, (p0, p1) in enumerate(panels):
         laed4_acc = [(hdefl, INPUT), (hsec[pid], OUTPUT)]
-        if not opts.extra_workspace:
+        if not eig_only and not opts.extra_workspace:
             # No extra buffer: the secular solve waits for all permutes
             # (submission order puts every PermuteV before the first
             # LAED4, so this INPUT closes the whole GATHERV group).
@@ -292,36 +333,62 @@ def _submit_merge(ins, info: DCGraphInfo, node: Node,
         name="ReduceW", tag=tag, est=est["ReduceW"],
         cost=(lambda s=st, m=npan: costs.cost_reduce_w(s.k, m)))
 
-    for pid, (p0, p1) in enumerate(panels):
-        ins(st.t_copyback_panel,
-            acc([(hdefl, INPUT), (hVws, INPUT),
-                 (hV, GATHERV), (hcb, GATHERV)]),
-            args=(p0, p1), name="CopyBackDeflated", tag=tag,
-            est=est["CopyBackDeflated"],
-            cost=(lambda s=st, a=p0, b=p1:
-                  costs.cost_copyback(s.copyback_rows_moved(a, b))))
+    if not eig_only:
+        for pid, (p0, p1) in enumerate(panels):
+            ins(st.t_copyback_panel,
+                acc([(hdefl, INPUT), (hVws, INPUT),
+                     (hV, GATHERV), (hcb, GATHERV)]),
+                args=(p0, p1), name="CopyBackDeflated", tag=tag,
+                est=est["CopyBackDeflated"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_copyback(s.copyback_rows_moved(a, b))))
 
-    for pid, (p0, p1) in enumerate(panels):
-        cv_acc = [(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
-                  (hX[pid], OUTPUT)]
-        if not opts.extra_workspace:
-            # ComputeVect waits for every copy-back to free the buffer.
-            cv_acc.append((hcb, INPUT))
-        ins(st.t_compute_vect_panel, acc(cv_acc),
-            args=(p0, p1), name="ComputeVect", tag=tag,
-            est=est["ComputeVect"],
-            cost=(lambda s=st, a=p0, b=p1:
-                  costs.cost_compute_vect(s.k, s.clip_roots(a, b).size)))
+        for pid, (p0, p1) in enumerate(panels):
+            cv_acc = [(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
+                      (hX[pid], OUTPUT)]
+            if not opts.extra_workspace:
+                # ComputeVect waits for every copy-back to free the buffer.
+                cv_acc.append((hcb, INPUT))
+            ins(st.t_compute_vect_panel, acc(cv_acc),
+                args=(p0, p1), name="ComputeVect", tag=tag,
+                est=est["ComputeVect"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_compute_vect(s.k, s.clip_roots(a, b).size)))
 
-    # UpdateVect panels are submitted as one contiguous group so that in
-    # fork/join mode they form a single GATHERV group on the serial token
-    # (the parallel-BLAS region); dependencies order them anyway.
-    for pid, (p0, p1) in enumerate(panels):
-        ins(st.t_update_vect_panel,
-            acc([(hdefl, INPUT), (hVws, INPUT),
-                 (hX[pid], INPUT), (hV, GATHERV)],
-                parallel=True),
-            args=(p0, p1), name="UpdateVect", tag=tag,
-            est=est["UpdateVect"],
-            cost=(lambda s=st, a=p0, b=p1:
-                  costs.cost_update_vect(*s.update_vect_shape(a, b))))
+        # UpdateVect panels are submitted as one contiguous group so that
+        # in fork/join mode they form a single GATHERV group on the serial
+        # token (the parallel-BLAS region); dependencies order them anyway.
+        for pid, (p0, p1) in enumerate(panels):
+            ins(st.t_update_vect_panel,
+                acc([(hdefl, INPUT), (hVws, INPUT),
+                     (hX[pid], INPUT), (hV, GATHERV)],
+                    parallel=True),
+                args=(p0, p1), name="UpdateVect", tag=tag,
+                est=est["UpdateVect"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_update_vect(*s.update_vect_shape(a, b))))
+
+    # Node-output writers of the strip path.  UpdateStrip joins the hV
+    # GATHERV group (after CopyBackDeflated/UpdateVect in 'V' mode, alone
+    # in 'N' mode) so the parent's Compute_deflation waits for the
+    # completed strip; in fork/join mode it is serialized on the token
+    # (closing the UpdateVect parallel region, not joining it).
+    if not is_root:
+        for pid, (p0, p1) in enumerate(panels):
+            ins(st.t_strip_update_panel,
+                acc([(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
+                     (hPws, INPUT), (hV, GATHERV)]),
+                args=(p0, p1), name="UpdateStrip", tag=tag,
+                est=est["UpdateStrip"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_strip_update(s.k,
+                                              s.clip_roots(a, b).size)))
+    elif eig_only:
+        for pid, (p0, p1) in enumerate(panels):
+            ins(st.t_update_eig_panel,
+                acc([(hdefl, INPUT), (hsec[pid], INPUT), (hW, INPUT),
+                     (hV, GATHERV)]),
+                args=(p0, p1), name="UpdateEig", tag=tag,
+                est=est["UpdateEig"],
+                cost=(lambda s=st, a=p0, b=p1:
+                      costs.cost_update_eig(s.clip_roots(a, b).size)))

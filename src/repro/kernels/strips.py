@@ -1,0 +1,84 @@
+"""Boundary-row *strip* kernels for the eigenvalue-only pipeline.
+
+The merge recursion only ever reads two rows of a subproblem's
+eigenvector matrix: the last row of the left child and the first row of
+the right child form the rank-one vector z of the next merge (Eq. 4).
+``jobz='N'`` exploits this: instead of carrying the O(n²) matrix, each
+node [lo, hi) carries a 2×(hi−lo) *strip* —
+
+    ``S[0, lo:hi]`` — row ``lo``    of the node's eigenvector block
+    ``S[1, lo:hi]`` — row ``hi−1``  of the node's eigenvector block
+
+— and the merge applies its deflating rotations, its permutation and
+its secular eigenvector products to the strip alone: O(k) work per
+panel instead of O(n·k), O(n) state instead of O(n²).
+
+Determinism contract: both compute modes derive z from strips produced
+by *this* module, and every function here is pure elementwise numpy (the
+row×matrix products use ``np.einsum``, whose default path is a plain C
+loop, **not** BLAS) — so the bits never depend on the BLAS build, the
+thread count or the backend, and ``jobz='N'`` eigenvalues are bitwise
+identical to ``jobz='V'`` by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stack_boundary_rows", "rotate_strip_columns", "permute_strip",
+           "strip_row_products"]
+
+
+def stack_boundary_rows(S: np.ndarray, P: np.ndarray,
+                        lo: int, mid: int, hi: int) -> None:
+    """Form the pre-merge strip of node [lo, hi) from its children.
+
+    Before the rank-one update the node's eigenvector matrix is block
+    diagonal, so its row ``lo`` is the left child's first row padded
+    with zeros, and its row ``hi−1`` is the right child's last row
+    padded with zeros."""
+    P[0, lo:mid] = S[0, lo:mid]
+    P[0, mid:hi] = 0.0
+    P[1, lo:mid] = 0.0
+    P[1, mid:hi] = S[1, mid:hi]
+
+
+def rotate_strip_columns(P: np.ndarray, lo: int, chains) -> None:
+    """Apply the deflating Givens rotations to the strip's columns.
+
+    Each rotation combines columns ``i``/``j`` of the node's block —
+    restricted to the strip that is two 2-vectors.  Same update order
+    and floating-point expressions as the full-matrix
+    :meth:`~repro.core.merge.MergeState.t_apply_givens_ref` kernel."""
+    for chain in chains:
+        for r in chain:
+            qi = P[:, lo + r.i]
+            qj = P[:, lo + r.j]
+            tmp = r.c * qi + r.s * qj
+            qj *= r.c
+            qj -= r.s * qi
+            qi[...] = tmp
+
+
+def permute_strip(P: np.ndarray, Pws: np.ndarray,
+                  lo: int, perm: np.ndarray) -> None:
+    """Gather the strip's columns into compressed order (PermuteV on a
+    2-row block; a single fancy-indexed gather is already optimal)."""
+    Pws[:, lo:lo + perm.size] = P[:, lo + perm]
+
+
+def strip_row_products(top_row: np.ndarray, bot_row: np.ndarray,
+                       X: np.ndarray, k1: int) -> tuple[np.ndarray,
+                                                        np.ndarray]:
+    """The two strip rows of the merged node: ``row·X`` products.
+
+    ``top_row`` is the permuted strip's row 0 restricted to the k1+k2
+    columns with top-block support; ``bot_row`` is row 1 restricted to
+    the k−k1 columns with bottom-block support (the structured-GEMM row
+    split of UpdateVect).  ``np.einsum`` with the default (non-optimized)
+    path contracts in pure C — no BLAS, no threading — so the result is
+    bit-reproducible everywhere.  An empty contraction axis yields exact
+    zeros, matching UpdateVect's zero-fill when a block is empty."""
+    top = np.einsum("k,km->m", top_row, X[:top_row.shape[0], :])
+    bot = np.einsum("k,km->m", bot_row, X[k1:, :])
+    return top, bot

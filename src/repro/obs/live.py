@@ -401,15 +401,21 @@ class SessionMetrics:
         self.failures = 0
         self.fallbacks = 0
         self.tasks = 0
+        #: Solve counts split by compute mode ("V" / "N").
+        self.solves_by_jobz: dict[str, int] = {}
         self.last_done_wall: Optional[float] = None
         self._last_done_mono: Optional[float] = None
 
     def note_solve(self, latency_s: Optional[float], merge_stats=(),
-                   failed: bool = False, n_tasks: int = 0) -> None:
+                   failed: bool = False, n_tasks: int = 0,
+                   jobz: Optional[str] = None) -> None:
         """Record one completed solve (success or failure)."""
         with self._lock:
             self.solves += 1
             self.tasks += n_tasks
+            if jobz is not None:
+                self.solves_by_jobz[jobz] = \
+                    self.solves_by_jobz.get(jobz, 0) + 1
             if failed:
                 self.failures += 1
             if latency_s is not None:
@@ -441,6 +447,7 @@ class SessionMetrics:
     def to_dict(self) -> dict:
         out = {"solves": self.solves, "failures": self.failures,
                "fallbacks": self.fallbacks, "tasks": self.tasks,
+               "solves_by_jobz": dict(self.solves_by_jobz),
                "last_solve_age_s": self.last_solve_age_s()}
         out["digests"] = self.digest_stats()
         return out
@@ -454,6 +461,9 @@ class SessionMetrics:
             self.failures += other.failures
             self.fallbacks += other.fallbacks
             self.tasks += other.tasks
+            for mode, cnt in other.solves_by_jobz.items():
+                self.solves_by_jobz[mode] = \
+                    self.solves_by_jobz.get(mode, 0) + cnt
             for attr in ("last_done_wall", "_last_done_mono"):
                 mine, theirs = getattr(self, attr), getattr(other, attr)
                 if theirs is not None and (mine is None or theirs > mine):
@@ -600,6 +610,12 @@ def live_metrics_text(session) -> str:
     emit("session.failures_total", m.failures, "counter")
     emit("session.fallbacks_total", m.fallbacks, "counter")
     emit("session.tasks_total", m.tasks, "counter")
+    by_jobz = m.to_dict()["solves_by_jobz"]
+    if by_jobz:
+        pn = prom_name("session.solves_by_jobz_total")
+        lines.append(f"# TYPE {pn} counter")
+        for mode, cnt in sorted(by_jobz.items()):
+            lines.append(f'{pn}{{jobz="{prom_label_value(mode)}"}} {cnt}')
     emit("session.inflight", len(session._outstanding))
     emit("session.workers", session.n_workers)
     emit("session.last_solve_age_seconds", m.last_solve_age_s())
@@ -775,18 +791,23 @@ class MetricsServer:
             n = min(int(q.get("n", ["300"])[0]), self.MAX_SOLVE_N)
             mtype = int(q.get("type", ["4"])[0])
             seed = int(q.get("seed", ["0"])[0])
+            jobz = q.get("jobz", ["V"])[0].upper()
+            if jobz not in ("V", "N"):
+                raise ValueError(f"jobz must be 'V' or 'N', got {jobz!r}")
             d, e = test_matrix(mtype, n, seed=seed)
         except (ValueError, KeyError) as exc:
             return 400, "application/json", json.dumps({"error": str(exc)})
+        opts = self.session.options.with_(jobz=jobz)
         t0 = time.perf_counter()
         try:
-            lam, V = self.session.solve(d, e)
+            lam, V = self.session.solve(d, e, options=opts)
         except ReproError as exc:
             return 400, "application/json", json.dumps(
                 {"error": f"{type(exc).__name__}: {exc}"})
         dt = time.perf_counter() - t0
         return 200, "application/json", json.dumps(
-            {"n": n, "type": mtype, "seed": seed, "latency_s": dt,
+            {"n": n, "type": mtype, "seed": seed, "jobz": jobz,
+             "latency_s": dt,
              "lam_min": float(lam[0]), "lam_max": float(lam[-1])})
 
     def close(self) -> None:

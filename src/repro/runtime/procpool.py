@@ -282,7 +282,11 @@ def _child_begin(payload: dict, segs: _SegCache) -> dict:
 
     set_calibration(payload["cal"])
     opts = payload["opts"]
-    buffers = {key: segs.attach(*payload[key]) for key in ("D", "V", "Vws")}
+    # jobz='N' payloads carry no V/Vws segments — attach whatever the
+    # parent shipped (D and the strips are always present).
+    buffers = {key: segs.attach(*payload[key])
+               for key in ("D", "V", "Vws", "S", "P", "Pws")
+               if key in payload}
     ctx = DCContext(payload["d"], payload["e"], opts,
                     subset=payload["subset"], buffers=buffers)
     ctx.workspace = segs
@@ -663,11 +667,16 @@ class ProcPool:
         # bundles are written by the session.
         opts = run.opts.with_(telemetry=None, fault_injection=None,
                               postmortem_dir=None)
-        return {"d": ctx.d_in, "e": ctx.e_in, "subset": ctx.subset,
-                "opts": opts, "cal": get_calibration(),
-                "D": (ws.name_of(ctx.D), ctx.D.shape),
-                "V": (ws.name_of(ctx.V), ctx.V.shape),
-                "Vws": (ws.name_of(ctx.Vws), ctx.Vws.shape)}
+        payload = {"d": ctx.d_in, "e": ctx.e_in, "subset": ctx.subset,
+                   "opts": opts, "cal": get_calibration(),
+                   "D": (ws.name_of(ctx.D), ctx.D.shape),
+                   "S": (ws.name_of(ctx.S), ctx.S.shape),
+                   "P": (ws.name_of(ctx.P), ctx.P.shape),
+                   "Pws": (ws.name_of(ctx.Pws), ctx.Pws.shape)}
+        if ctx.V is not None:                # jobz='V' eigenvector buffers
+            payload["V"] = (ws.name_of(ctx.V), ctx.V.shape)
+            payload["Vws"] = (ws.name_of(ctx.Vws), ctx.Vws.shape)
+        return payload
 
     def _pick_worker(self, run: ProcRun) -> Optional[_Worker]:
         best = None
@@ -759,7 +768,8 @@ class ProcPool:
                         and ow.wid in run.eligible):
                     ow.outq.put(("delta", rid, seq, blob))
         fname = getattr(task.func, "__name__", "")
-        if fname in ("t_copyback_panel", "t_update_vect_panel"):
+        if fname in ("t_copyback_panel", "t_update_vect_panel",
+                     "t_strip_update_panel", "t_update_eig_panel"):
             # Parent-owned writer countdown: the last eigenvector writer
             # of a secular-failed merge triggers the STEQR fallback here,
             # with exclusive access (successors are not yet dispatched).
@@ -941,12 +951,13 @@ class ProcPool:
                          (len(c) for c in st.chains))
         obs.add("merge.rotations", n_rot)
         obs.add("merge.count")
-        obs.gauge_max("workspace.x_block_bytes", 8 * defl.k * defl.k)
+        obs.gauge_max("workspace.x_block_bytes", 8 * st.X.size)
         if st.n == ctx.n:
             from ..analysis.memory import solve_high_water_bytes
             obs.gauge_max("workspace.high_water_bytes",
                           solve_high_water_bytes(
-                              ctx.n, defl.k, ctx.opts.extra_workspace))
+                              ctx.n, defl.k, ctx.opts.extra_workspace,
+                              jobz=ctx.opts.jobz))
 
     # -- completion ------------------------------------------------------
     def _finish_run(self, run: ProcRun) -> None:
