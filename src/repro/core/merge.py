@@ -824,3 +824,17 @@ class MergeState:
     def strip_rotations(self) -> int:
         """Rotation count for the GivensStrip cost model."""
         return sum(len(c) for c in self.chains)
+
+
+# Engine parent-side epilogue tags (see repro.runtime.engine
+# .parent_epilogue): the process backend runs `_writer_done()` on the
+# *parent's* replica after each eigenvector writer completes on a worker
+# — the last writer of a secular-failed merge performs the STEQR
+# fallback with exclusive access to the shared arrays.  The tag lives on
+# the function object, so it survives graph-template instantiation and
+# bound-method extraction on any replica.
+for _writer in (MergeState.t_copyback_panel, MergeState.t_update_vect_panel,
+                MergeState.t_strip_update_panel,
+                MergeState.t_update_eig_panel):
+    _writer._parent_epilogue = "_writer_done"
+del _writer

@@ -6,11 +6,26 @@ Public surface:
   :class:`~repro.runtime.task.TaskCost` and the access qualifiers
   ``INPUT`` / ``OUTPUT`` / ``INOUT`` / ``GATHERV``;
 * :class:`~repro.runtime.dag.TaskGraph` — dependency analysis;
+* :mod:`~repro.runtime.engine` — the shared execution core
+  (:class:`~repro.runtime.engine.ExecutionCore`,
+  :class:`~repro.runtime.engine.EngineRun`,
+  :class:`~repro.runtime.engine.ReadyQueue`,
+  :class:`~repro.runtime.engine.VirtualExecutor`): readiness, priority
+  order, first-failure cancellation, fault injection and emission, owned
+  once for every substrate;
 * :class:`~repro.runtime.scheduler.SequentialScheduler` /
-  :class:`~repro.runtime.scheduler.ThreadScheduler` — real execution;
+  :class:`~repro.runtime.scheduler.ThreadScheduler` /
+  :class:`~repro.runtime.scheduler.WorkerPool` — wall-clock in-process
+  substrates;
+* :class:`~repro.runtime.procpool.ProcPool` /
+  :class:`~repro.runtime.procpool.ProcScheduler` — process substrates
+  (shared-memory solver pool, generic picklable task flows);
 * :class:`~repro.runtime.simulator.Machine` /
   :class:`~repro.runtime.simulator.SimulatedMachine` — deterministic
-  discrete-event execution on a virtual multicore;
+  discrete-event execution on a virtual multicore, with
+  :class:`~repro.runtime.distributed.ClusterMachine` and
+  :class:`~repro.runtime.hetero.HeteroMachine` extending the same
+  virtual substrate across nodes and accelerators;
 * :class:`~repro.runtime.quark.Quark` — QUARK-style facade;
 * :class:`~repro.runtime.trace.Trace` — schedule recording/analysis;
 * :class:`~repro.runtime.faults.FaultSpec` /
@@ -21,10 +36,13 @@ Public surface:
 from .task import (Access, DataHandle, Task, TaskCost,
                    INPUT, OUTPUT, INOUT, GATHERV)
 from .dag import TaskGraph
+from .engine import (EngineRun, ExecutionCore, ReadyQueue, VirtualExecutor,
+                     WorkerStats, parent_epilogue)
 from .faults import FaultInjector, FaultSpec
 from .scheduler import (PoolRun, SequentialScheduler, ThreadScheduler,
                         WorkerPool, default_thread_workers)
 from .simulator import Machine, SimulatedMachine
+from .procpool import ProcPool, ProcRun, ProcScheduler
 from .quark import Quark
 from .hetero import Accelerator, HeteroMachine, GPU_OFFLOAD_POLICY
 from .distributed import ClusterMachine, Network, tree_placement
@@ -33,8 +51,12 @@ from .trace import Trace, TraceEvent, PAPER_KERNELS
 __all__ = [
     "Access", "DataHandle", "Task", "TaskCost",
     "INPUT", "OUTPUT", "INOUT", "GATHERV",
-    "TaskGraph", "SequentialScheduler", "ThreadScheduler",
+    "TaskGraph",
+    "EngineRun", "ExecutionCore", "ReadyQueue", "VirtualExecutor",
+    "WorkerStats", "parent_epilogue",
+    "SequentialScheduler", "ThreadScheduler",
     "WorkerPool", "PoolRun", "default_thread_workers",
+    "ProcPool", "ProcRun", "ProcScheduler",
     "Machine", "SimulatedMachine", "Quark",
     "FaultSpec", "FaultInjector",
     "Accelerator", "HeteroMachine", "GPU_OFFLOAD_POLICY",

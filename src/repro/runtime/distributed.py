@@ -12,6 +12,11 @@ Placement follows data affinity by default (run where most input bytes
 live, break ties toward the least-loaded node), or a user-supplied
 ``placement(task) -> node`` — e.g. the owner-computes tree partition
 used by the distributed-D&C study in the EXT-4 benchmark.
+
+The engine loop — readiness, payload execution with fault injection and
+flight recording, deadlock detection, counter emission — comes from
+:class:`~repro.runtime.engine.VirtualExecutor`; this module owns only
+the placement policy and the network charge model.
 """
 
 from __future__ import annotations
@@ -19,11 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .dag import TaskGraph
-from .scheduler import _ReadyQueue
+from .engine import ReadyQueue, VirtualExecutor
 from .simulator import Machine
 from .task import Access, Task
-from .trace import Trace, TraceEvent
 
 __all__ = ["Network", "ClusterMachine", "tree_placement"]
 
@@ -48,8 +51,8 @@ def tree_placement(n: int, n_nodes: int) -> Callable[[Task], int]:
     return place
 
 
-class ClusterMachine:
-    """Discrete-event executor of one task DAG over several nodes.
+class ClusterMachine(VirtualExecutor):
+    """Discrete-event substrate: one task DAG over several nodes.
 
     Parameters
     ----------
@@ -58,112 +61,102 @@ class ClusterMachine:
     network : interconnect α–β model.
     placement : optional ``task -> node`` (None = data affinity).
     execute : run the functional payloads (False replays a solved graph).
+    recorder, injector, flight : the engine's observability endpoints and
+        fault-injection hook (same semantics as every other substrate).
     """
 
     def __init__(self, n_nodes: int = 2,
                  machine: Optional[Machine] = None,
                  network: Optional[Network] = None,
                  placement: Optional[Callable[[Task], Optional[int]]] = None,
-                 execute: bool = True):
+                 execute: bool = True, *, recorder=None, injector=None,
+                 flight=None):
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.n_nodes = n_nodes
         self.machine = machine or Machine()
         self.network = network or Network()
         self.placement = placement
-        self.execute = execute
-        self.trace: Optional[Trace] = None
+        super().__init__(execute=execute, recorder=recorder,
+                         injector=injector, flight=flight)
         self.bytes_on_wire = 0.0
         self.n_messages = 0
 
-    def run(self, graph: TaskGraph) -> Trace:
-        graph.validate_acyclic()
-        m = self.machine
-        cpn = m.n_cores                           # cores per node
-        n_workers = self.n_nodes * cpn
-        trace = Trace(n_workers=n_workers)
-        pending = {t.uid: t.n_deps for t in graph.tasks}
-        ready = _ReadyQueue()
-        for t in graph.tasks:
-            if pending[t.uid] == 0:
-                ready.push(t)
-        free = [list(range(node * cpn + cpn - 1, node * cpn - 1, -1))
-                for node in range(self.n_nodes)]
-        load = [0.0] * self.n_nodes
+    # -- substrate hooks -------------------------------------------------
+    def _virtual_workers(self) -> int:
+        return self.n_nodes * self.machine.n_cores
+
+    def _setup(self, graph) -> None:
+        cpn = self.machine.n_cores                # cores per node
+        self._free = [list(range(node * cpn + cpn - 1, node * cpn - 1, -1))
+                      for node in range(self.n_nodes)]
+        self._load = [0.0] * self.n_nodes
         #: handle uid -> (owner node, resident bytes estimate)
-        location: dict[int, tuple[int, float]] = {}
-        running: list[tuple[float, float, Task, int, int]] = []
-        now = 0.0
-        done = 0
-        total = len(graph.tasks)
-        deferred: list[Task] = []
+        self._location: dict[int, tuple[int, float]] = {}
+        #: (end_time, start_time, task, worker, node)
+        self._running: list[tuple[float, float, Task, int, int]] = []
+        self._deferred: list[Task] = []
         self.bytes_on_wire = 0.0
         self.n_messages = 0
 
-        def choose_node(task: Task) -> int:
-            if self.placement is not None:
-                forced = self.placement(task)
-                if forced is not None:
-                    return forced
-            # Data affinity: node holding the most input bytes.
-            weights = [0.0] * self.n_nodes
-            for handle, _mode in task.accesses:
-                loc = location.get(handle.uid)
-                if loc is not None:
-                    weights[loc[0]] += loc[1]
-            best = max(range(self.n_nodes),
-                       key=lambda nd: (weights[nd], -load[nd]))
-            return best
+    def _has_running(self) -> bool:
+        return bool(self._running)
 
-        while done < total:
-            candidates: list[Task] = deferred
-            deferred = []
-            while len(ready):
-                candidates.append(ready.pop())
-            for task in candidates:
-                node = choose_node(task)
-                if not free[node]:
-                    # Preferred node busy: steal to any free node (the
-                    # dynamic-scheduling half of the DPLASMA model).
-                    alts = [nd for nd in range(self.n_nodes) if free[nd]]
-                    if not alts:
-                        deferred.append(task)
-                        continue
-                    node = max(alts, key=lambda nd: -load[nd])
-                worker = free[node].pop()
-                if self.execute:
-                    task.run()
-                task.mark_done()
-                cost = task.resolved_cost()
-                comm = 0.0
-                for handle, mode in task.accesses:
-                    loc = location.get(handle.uid)
-                    if loc is not None and loc[0] != node:
-                        comm += self.network.alpha \
-                            + loc[1] * self.network.beta
-                        self.bytes_on_wire += loc[1]
-                        self.n_messages += 1
-                    if mode is not Access.INPUT:
-                        location[handle.uid] = (
-                            node, max(cost.bytes_moved,
-                                      cost.flops * 8e-3, 4096.0))
-                dur = comm + m.duration_solo(cost, task.name)
-                load[node] += dur
-                running.append((now + dur, now, task, worker, node))
-            if not running:
-                if done < total:
-                    raise RuntimeError("cluster deadlock")
-                break
-            running.sort(key=lambda r: r[0])
-            end, start, task, worker, node = running.pop(0)
-            now = end
-            trace.record(TraceEvent(task.uid, task.name, worker,
-                                    start, end, task.tag, task.priority))
-            free[node].append(worker)
-            for s in task.successors:
-                pending[s.uid] -= 1
-                if pending[s.uid] == 0:
-                    ready.push(s)
-            done += 1
-        self.trace = trace
-        return trace
+    def _choose_node(self, task: Task) -> int:
+        if self.placement is not None:
+            forced = self.placement(task)
+            if forced is not None:
+                return forced
+        # Data affinity: node holding the most input bytes.
+        weights = [0.0] * self.n_nodes
+        for handle, _mode in task.accesses:
+            loc = self._location.get(handle.uid)
+            if loc is not None:
+                weights[loc[0]] += loc[1]
+        load = self._load
+        return max(range(self.n_nodes),
+                   key=lambda nd: (weights[nd], -load[nd]))
+
+    def _dispatch(self, ready: ReadyQueue) -> None:
+        m = self.machine
+        free = self._free
+        candidates: list[Task] = self._deferred
+        self._deferred = []
+        while len(ready):
+            candidates.append(ready.pop()[0])
+        for task in candidates:
+            node = self._choose_node(task)
+            if not free[node]:
+                # Preferred node busy: steal to any free node (the
+                # dynamic-scheduling half of the DPLASMA model).
+                alts = [nd for nd in range(self.n_nodes) if free[nd]]
+                if not alts:
+                    self._deferred.append(task)
+                    continue
+                node = max(alts, key=lambda nd: -self._load[nd])
+            worker = free[node].pop()
+            self._exec_payload(task)
+            cost = task.resolved_cost()
+            comm = 0.0
+            for handle, mode in task.accesses:
+                loc = self._location.get(handle.uid)
+                if loc is not None and loc[0] != node:
+                    comm += self.network.alpha \
+                        + loc[1] * self.network.beta
+                    self.bytes_on_wire += loc[1]
+                    self.n_messages += 1
+                if mode is not Access.INPUT:
+                    self._location[handle.uid] = (
+                        node, max(cost.bytes_moved,
+                                  cost.flops * 8e-3, 4096.0))
+            dur = comm + m.duration_solo(cost, task.name)
+            self._load[node] += dur
+            self._running.append((self._now + dur, self._now, task,
+                                  worker, node))
+
+    def _advance(self) -> None:
+        self._running.sort(key=lambda r: r[0])
+        end, start, task, worker, node = self._running.pop(0)
+        self._now = end
+        self._free[node].append(worker)
+        self._complete_task(task, worker, start, end)

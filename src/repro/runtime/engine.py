@@ -1,0 +1,513 @@
+"""The shared execution core behind every backend runtime.
+
+The paper's central artifact is a *single* task-flow runtime (QUARK)
+that executes one DAG under one readiness rule on any hardware.  This
+module is that runtime's engine: everything the execution backends have
+in common lives here, once —
+
+* :class:`ReadyQueue` — the priority-ordered ready structure (higher
+  b-level priority first, then overall submission order: QUARK's
+  sequential-task-flow policy), optionally lock-guarded for the
+  multi-threaded substrates;
+* :class:`EngineRun` — the run-isolation record: per-run dependency
+  countdowns and readiness release, first-failure state, trace events,
+  and the single emission point for Trace / Collector counters and the
+  completion hook;
+* :class:`ExecutionCore` — the run-scoped service bundle: dispatch-time
+  fault-injection guard, the FlightRecorder/typed-``TaskFailure``
+  failure path, and the success/failure counter conventions;
+* :class:`WorkerStats` — per-worker telemetry slots merged off the hot
+  path;
+* :class:`VirtualExecutor` — the discrete-event engine loop shared by
+  the simulator family (:class:`~repro.runtime.simulator.SimulatedMachine`,
+  :class:`~repro.runtime.distributed.ClusterMachine`,
+  :class:`~repro.runtime.hetero.HeteroMachine`): readiness, payload
+  execution with faults and flight recording, deadlock detection and
+  counter emission, with the machine model (worker geometry, dispatch
+  placement, virtual-clock advance) left to subclasses;
+* :func:`parent_epilogue` — the generic parent-side epilogue hook that
+  replaces hardcoded kernel-name lists (e.g. the eigenvector-writer
+  fallback countdown of the process backend).
+
+The backends themselves (:mod:`~repro.runtime.scheduler`,
+:mod:`~repro.runtime.procpool`, :mod:`~repro.runtime.simulator`,
+:mod:`~repro.runtime.distributed`, :mod:`~repro.runtime.hetero`) are
+thin *substrates*: inline call, thread deques + stealing, shared-memory
+process dispatch, or a virtual clock.  No module outside this one may
+import an underscore-private name from another runtime module — the
+conformance suite's lint test enforces it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from ..errors import SchedulerError, wrap_task_error
+from .trace import Trace, TraceEvent
+
+__all__ = ["ReadyQueue", "EngineRun", "ExecutionCore", "WorkerStats",
+           "VirtualExecutor", "parent_epilogue"]
+
+
+class ReadyQueue:
+    """The one priority-ordered ready structure (QUARK's policy).
+
+    Entries are keyed ``(-priority, order_base + seq)`` — higher b-level
+    priority first, then overall submission order — with the payload
+    ``(task, run)`` kept out of the comparison, so tasks from different
+    fused runs interleave by priority without ever comparing ``Task``
+    objects.  Single-graph users pass no ``run``/``base`` and the key
+    degenerates to ``(-priority, seq)``.
+
+    ``locked=True`` guards push/pop with a mutex for multi-consumer
+    substrates (one instance per worker deque, poppable by thieves);
+    single-threaded substrates skip the lock entirely.
+    """
+
+    __slots__ = ("_heap", "_lock")
+
+    def __init__(self, locked: bool = False):
+        self._heap: list[tuple[tuple[int, int], tuple]] = []
+        self._lock = threading.Lock() if locked else None
+
+    def push(self, task, run=None, base: int = 0) -> None:
+        entry = ((-task.priority, base + task.seq), (task, run))
+        if self._lock is not None:
+            with self._lock:
+                heapq.heappush(self._heap, entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Optional[tuple]:
+        """Best ``(task, run)`` pair, or ``None`` when empty."""
+        if self._lock is not None:
+            with self._lock:
+                if self._heap:
+                    return heapq.heappop(self._heap)[1]
+            return None
+        if self._heap:
+            return heapq.heappop(self._heap)[1]
+        return None
+
+    def clear(self) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._heap.clear()
+        else:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        # Unlocked read (GIL-atomic): used for depth telemetry only.
+        return len(self._heap)
+
+
+class ExecutionCore:
+    """Run-scoped bundle of the engine's cross-cutting services.
+
+    Holds the observability endpoints (Collector ``recorder``,
+    ``FlightRecorder``) plus the fault ``injector``, and centralizes
+    what every substrate used to hand-roll: the dispatch-time fault
+    guard, the flight-recorded typed-failure path, and the
+    success/failure counter conventions.
+    """
+
+    __slots__ = ("recorder", "injector", "flight")
+
+    def __init__(self, recorder=None, injector=None, flight=None):
+        self.recorder = recorder
+        self.injector = injector
+        self.flight = flight
+
+    @property
+    def observe(self) -> bool:
+        rec = self.recorder
+        return rec is not None and getattr(rec, "enabled", False)
+
+    # -- dispatch hook ---------------------------------------------------
+    def guard(self, task) -> None:
+        """Fault-injection dispatch hook: consulted immediately before a
+        task runs; raises :class:`~repro.errors.InjectedFault` on match."""
+        if self.injector is not None:
+            self.injector.maybe_fail(task)
+
+    # -- emission --------------------------------------------------------
+    def task_done(self, task, worker: int, t0: float, t1: float) -> None:
+        """Flight-record one executed task (bounded ring append)."""
+        if self.flight is not None:
+            self.flight.record_task(task, worker, t0, t1)
+
+    def task_failed(self, task, exc: BaseException,
+                    worker: Optional[int] = None, t0: float = 0.0,
+                    t1: float = 0.0,
+                    flight_worker: Optional[int] = None) -> BaseException:
+        """Flight-record a task failure and return the typed wrapper.
+
+        The wrapper carries the task context (name, seq, tag, worker)
+        and chains ``exc`` as its ``__cause__``; callers raise it.
+        ``flight_worker`` overrides the worker id written to the ring
+        (the process pool records ``-1`` for dispatch-time injections).
+        """
+        if self.flight is not None:
+            w = flight_worker if flight_worker is not None else (
+                0 if worker is None else worker)
+            self.flight.record("task.fail", task.name, w, task.seq, t0, t1,
+                               detail=f"{type(exc).__name__}: {exc}")
+        failure = wrap_task_error(task, exc, worker=worker)
+        if failure is not exc:
+            failure.__cause__ = exc
+        return failure
+
+    def emit_success(self, n_tasks: int) -> None:
+        if self.observe:
+            self.recorder.add("scheduler.tasks", n_tasks)
+
+    def emit_failure(self, n_failures: int, n_cancelled: int,
+                     n_executed: Optional[int] = None) -> None:
+        """First-failure counters.  ``n_executed`` is recorded as
+        ``scheduler.tasks`` by the backends that count partial progress
+        (the pools); inline backends leave it ``None``."""
+        if self.observe:
+            rec = self.recorder
+            rec.add("scheduler.failures", n_failures)
+            rec.add("scheduler.cancelled_tasks", n_cancelled)
+            if n_executed is not None:
+                rec.add("scheduler.tasks", n_executed)
+
+
+class EngineRun:
+    """Run-isolation record: one DAG submitted to an execution substrate.
+
+    Owns the run's dependency countdowns, trace events, failure record
+    and completion signal — the state that used to be duplicated between
+    the thread pool's ``PoolRun`` and the process pool's ``ProcRun``
+    (both names remain as aliases).  Isolation boundary of a fused
+    super-DAG: a task failure marks *this* run failed (its queued tasks
+    drain as no-ops) while every other run proceeds untouched.
+
+    ``inflight`` counts tasks of this run currently executing on some
+    worker (thread substrate).  Completion — and the ``on_done`` hook,
+    which may recycle the run's workspace buffers — only happens once
+    the run is finalized AND no task is still executing: a failed run
+    must not release buffers while a peer worker is writing into them.
+    The process substrate tracks the same thing as ``outstanding``
+    (seq -> (worker, epoch)) because its in-flight set lives across a
+    pipe, and restricts dispatch to the ``eligible`` worker set.
+    """
+
+    __slots__ = ("graph", "n_tasks", "pending", "remaining", "t0",
+                 "events", "errors", "finalized", "trace", "recorder",
+                 "injector", "order_base", "on_done", "_done_event",
+                 "n_executed", "lock", "inflight", "_deferred",
+                 "rid", "ctx", "info", "opts", "eligible", "outstanding")
+
+    def __init__(self, graph, order_base: int = 0, *, recorder=None,
+                 injector=None,
+                 on_done: Optional[Callable[["EngineRun"], None]] = None,
+                 rid: int = 0, ctx=None, info=None, opts=None):
+        self.graph = graph
+        self.n_tasks = len(graph.tasks)
+        self.pending = [t.n_deps for t in graph.tasks]
+        self.remaining = self.n_tasks
+        self.t0 = time.perf_counter()
+        self.events: list[TraceEvent] = []   # list.append is GIL-atomic
+        self.errors: list[BaseException] = []
+        self.finalized = False
+        self.trace: Optional[Trace] = None
+        self.recorder = recorder
+        self.injector = injector
+        self.order_base = order_base
+        self.on_done = on_done
+        self.n_executed = 0
+        self.lock = threading.Lock()   # guards the lifecycle fields below
+        self.inflight = 0              # tasks executing on a worker now
+        self._deferred = False         # completion awaits inflight == 0
+        self._done_event = threading.Event()
+        # Process-substrate fields (unused by the thread substrate):
+        self.rid = rid
+        self.ctx = ctx
+        self.info = info
+        self.opts = opts
+        self.eligible: set[int] = set()       # wids this run may use
+        self.outstanding: dict[int, tuple] = {}   # seq -> (wid, epoch)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.errors)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run completes (or fails); True when done."""
+        return self._done_event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Trace:
+        """The run's trace; re-raises the first task failure, typed."""
+        if not self._done_event.wait(timeout):
+            raise SchedulerError("timed out waiting for pool run")
+        if self.errors:
+            raise self.errors[0]
+        return self.trace
+
+    def key(self, task) -> tuple[int, int]:
+        """This task's pool-wide :class:`ReadyQueue` ordering key."""
+        return (-task.priority, self.order_base + task.seq)
+
+    # -- readiness release -----------------------------------------------
+    def release(self, task, stripes: Optional[Sequence] = None,
+                n_stripes: int = 1) -> list:
+        """Resolve ``task``'s successor dependencies; return the tasks
+        that just became ready.
+
+        The per-run countdown is indexed by submission order ``seq``
+        (the graph's own ``n_deps`` is never mutated, so one graph can
+        be re-analyzed or re-instantiated).  ``stripes`` is the thread
+        substrate's striped lock array — a completing task decrements
+        each successor under one of ``n_stripes`` locks chosen by task
+        id, never a global lock; single-consumer substrates pass none.
+        """
+        out = []
+        pending = self.pending
+        if stripes is None:
+            for s in task.successors:
+                pending[s.seq] -= 1
+                if pending[s.seq] == 0:
+                    out.append(s)
+        else:
+            for s in task.successors:
+                with stripes[s.seq % n_stripes]:
+                    pending[s.seq] -= 1
+                    now_ready = pending[s.seq] == 0
+                if now_ready:
+                    out.append(s)
+        return out
+
+    # -- the single emission point ---------------------------------------
+    def finish(self, n_workers: int,
+               worker_names: Optional[list[str]] = None) -> None:
+        """Emit the run's outcome and signal completion.  Called exactly
+        once per run, only when no task of the run is executing or can
+        still start.
+
+        Success: build the :class:`Trace` (events sorted into timeline
+        order) and count ``scheduler.tasks``.  Failure: count
+        ``scheduler.failures`` / ``scheduler.cancelled_tasks`` and the
+        partial ``scheduler.tasks`` progress.  Then run the completion
+        hook (exceptions swallowed — a hook must never kill a worker)
+        and set the done event.
+        """
+        rec = self.recorder
+        observe = rec is not None and getattr(rec, "enabled", False)
+        if not self.failed:
+            trace = Trace(n_workers=n_workers, worker_names=worker_names)
+            self.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
+            trace.events = self.events
+            self.trace = trace
+            if observe:
+                rec.add("scheduler.tasks", self.n_tasks)
+        elif observe:
+            rec.add("scheduler.failures", len(self.errors))
+            rec.add("scheduler.cancelled_tasks", max(0, self.remaining))
+            rec.add("scheduler.tasks", self.n_executed)
+        if self.on_done is not None:
+            try:
+                self.on_done(self)
+            except Exception:
+                pass
+        self._done_event.set()
+
+
+class WorkerStats:
+    """Per-worker telemetry slots, merged into the recorder off the hot
+    path (after join for the one-shot scheduler; periodically and at
+    shutdown for the persistent pools — no locks or recorder calls in
+    the worker loop)."""
+
+    __slots__ = ("steal_attempts", "steal_successes", "parks", "park_s",
+                 "dep_s", "depth_samples")
+
+    def __init__(self) -> None:
+        self.steal_attempts = 0
+        self.steal_successes = 0
+        self.parks = 0
+        self.park_s = 0.0
+        self.dep_s = 0.0
+        self.depth_samples: list[tuple[float, float]] = []
+
+    def emit(self, rec, wid: int) -> None:
+        """Fold this worker's counters and queue-depth samples into the
+        recorder (caller checks ``rec.enabled``)."""
+        rec.add("scheduler.steal.attempts", self.steal_attempts)
+        rec.add("scheduler.steal.successes", self.steal_successes)
+        rec.add("scheduler.park.count", self.parks)
+        rec.add("scheduler.park.time_s", self.park_s)
+        rec.add("scheduler.dep_resolve.time_s", self.dep_s)
+        self.flush_depth(rec, wid)
+
+    def flush_depth(self, rec, wid: int) -> None:
+        """Export and clear the queue-depth samples (persistent pools
+        must flush periodically or the lists grow without bound)."""
+        samples, self.depth_samples = self.depth_samples, []
+        rec.bulk_samples("scheduler.queue_depth", wid, samples)
+        rec.observe_many("scheduler.queue_depth", (d for _, d in samples))
+
+
+def parent_epilogue(task) -> Optional[Callable[[], None]]:
+    """Resolve a task's declared parent-side epilogue, if any.
+
+    Kernel methods tagged with a ``_parent_epilogue = "method_name"``
+    class attribute ask the engine to call ``getattr(owner,
+    method_name)()`` on the *parent's* replica after the task completes
+    on a worker — e.g. the eigenvector-writer countdown that triggers
+    the deferred STEQR fallback in the process backend (see
+    :mod:`repro.core.merge`).  Replaces the hardcoded kernel-name list
+    the process pool used to keep; the tag lives on the underlying
+    function, so it survives graph-template instantiation.
+    """
+    func = task.func
+    name = getattr(getattr(func, "__func__", func), "_parent_epilogue",
+                   None)
+    if name is None:
+        return None
+    owner = getattr(func, "__self__", None)
+    if owner is None:
+        return None
+    return getattr(owner, name)
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event substrate base
+# ---------------------------------------------------------------------------
+
+
+class VirtualExecutor:
+    """Engine loop shared by the virtual-clock (discrete-event) family.
+
+    Owns the full engine contract for the simulator backends: dependency
+    countdowns and readiness release, the priority-ordered ready queue,
+    functional-payload execution with the fault-injection guard,
+    first-failure cancellation and counters, flight recording (with
+    *virtual* timestamps), deadlock detection, and ready-depth/counter
+    emission.  Subclasses provide only the machine model via four hooks:
+
+    ``_virtual_workers()``
+        Total worker rows in the trace.
+    ``_setup(graph)``
+        Initialize run-scoped substrate state (free-worker lists,
+        data-location maps, the running set).
+    ``_dispatch(ready)``
+        Start ready tasks per the substrate's placement policy, calling
+        :meth:`_exec_payload` for each started task.  The policy — e.g.
+        the fluid model's pop-only-when-a-core-is-free versus the
+        cluster/hetero drain-then-defer pattern — is deliberately left
+        to the substrate so each model's published virtual-time results
+        stay bit-identical.
+    ``_advance()``
+        Advance the virtual clock to the next completion(s), calling
+        :meth:`_complete_task` for each finished task.
+
+    Instances are single-run at a time (like the wall-clock schedulers);
+    ``run`` keeps its state on ``self`` for the substrate hooks.
+    """
+
+    def __init__(self, *, execute: bool = True, recorder=None,
+                 injector=None, flight=None):
+        self.execute = execute
+        self.recorder = recorder
+        self.injector = injector
+        #: Optional :class:`~repro.obs.live.FlightRecorder`.  Events are
+        #: recorded with virtual timestamps (simulation seconds), which
+        #: keeps task identity/ordering inspectable in the ring even
+        #: though they do not align with the wall clock.
+        self.flight = flight
+        self.trace: Optional[Trace] = None
+
+    # -- substrate hooks -------------------------------------------------
+    def _virtual_workers(self) -> int:
+        raise NotImplementedError
+
+    def _setup(self, graph) -> None:
+        raise NotImplementedError
+
+    def _dispatch(self, ready: ReadyQueue) -> None:
+        raise NotImplementedError
+
+    def _has_running(self) -> bool:
+        raise NotImplementedError
+
+    def _advance(self) -> None:
+        raise NotImplementedError
+
+    # -- engine loop -----------------------------------------------------
+    def run(self, graph) -> Trace:
+        graph.validate_acyclic()
+        tasks = graph.tasks
+        core = self._core = ExecutionCore(self.recorder, self.injector,
+                                          self.flight)
+        self._trace = trace = Trace(n_workers=self._virtual_workers())
+        self._pending = {t.uid: t.n_deps for t in tasks}
+        self._ready = ready = ReadyQueue()
+        for t in tasks:
+            if t.n_deps == 0:
+                ready.push(t)
+        self._now = 0.0
+        self._n_done = 0
+        self._total = total = len(tasks)
+        observe = core.observe
+        #: (virtual t, ready-queue depth) samples for the counter track.
+        depth_samples: Optional[list] = [] if observe else None
+        self._setup(graph)
+        while self._n_done < total:
+            self._dispatch(ready)
+            if observe:
+                depth_samples.append((self._now, float(len(ready))))
+            if not self._has_running():
+                raise SchedulerError(
+                    f"{type(self).__name__}: deadlock — no running tasks "
+                    "but the graph is incomplete")
+            self._advance()
+        if observe:
+            rec = self.recorder
+            rec.add("scheduler.tasks", total)
+            rec.bulk_samples("scheduler.ready_depth", 0, depth_samples)
+            rec.observe_many("scheduler.ready_depth",
+                             (d for _, d in depth_samples))
+        self.trace = trace
+        return trace
+
+    # -- engine services for the substrate hooks -------------------------
+    def _exec_payload(self, task) -> None:
+        """Run the functional payload at (virtual) dispatch time.
+
+        The first failure cancels the run: failure counters are emitted,
+        the flight ring records the failure (virtual timestamps), and
+        the typed :class:`~repro.errors.TaskFailure` propagates.  When
+        ``execute=False`` (replaying a solved graph) the payload is
+        skipped but the task is still marked done.
+        """
+        core = self._core
+        if self.execute:
+            try:
+                core.guard(task)
+                task.run()
+            except Exception as exc:
+                core.emit_failure(1, self._total - self._n_done - 1)
+                raise core.task_failed(task, exc, t0=self._now,
+                                       t1=self._now) from exc
+        task.mark_done()
+
+    def _complete_task(self, task, worker: int, t_start: float,
+                       t_end: float) -> None:
+        """Trace + flight one virtually-finished task and release its
+        successors into the ready queue."""
+        self._trace.record(TraceEvent(task.uid, task.name, worker,
+                                      t_start, t_end, task.tag,
+                                      task.priority))
+        self._core.task_done(task, worker, t_start, t_end)
+        pending = self._pending
+        ready = self._ready
+        for s in task.successors:
+            pending[s.uid] -= 1
+            if pending[s.uid] == 0:
+                ready.push(s)
+        self._n_done += 1

@@ -11,21 +11,21 @@ movement between host and device is charged per handle crossing.
 
 The DAG, the numerics and the readiness rules are identical to the
 homogeneous case — placement and transfers are purely a scheduling
-concern, as they would be in a StarPU/PaRSEC-style runtime.
+concern, as they would be in a StarPU/PaRSEC-style runtime.  The engine
+loop (readiness, payload execution with fault injection and flight
+recording, deadlock detection, counter emission) comes from
+:class:`~repro.runtime.engine.VirtualExecutor`; this module owns only
+the device placement and the PCIe charge model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
-import numpy as np
-
-from .dag import TaskGraph
-from .scheduler import _ReadyQueue
+from .engine import ReadyQueue, VirtualExecutor
 from .simulator import Machine
-from .task import Access, Task, TaskCost
-from .trace import Trace, TraceEvent
+from .task import Access, Task
 
 __all__ = ["Accelerator", "HeteroMachine", "GPU_OFFLOAD_POLICY"]
 
@@ -52,8 +52,8 @@ GPU_OFFLOAD_POLICY = frozenset({"UpdateVect", "LAED4", "ComputeVect",
                                 "ComputeLocalW"})
 
 
-class HeteroMachine:
-    """Discrete-event executor over CPU cores plus accelerators.
+class HeteroMachine(VirtualExecutor):
+    """Discrete-event substrate: CPU cores plus accelerators.
 
     Placement: tasks whose kernel name is in ``offload`` run on an
     accelerator stream when one is free (host otherwise); all other
@@ -67,13 +67,14 @@ class HeteroMachine:
                  accelerators: int = 1,
                  accel: Optional[Accelerator] = None,
                  offload: frozenset[str] = GPU_OFFLOAD_POLICY,
-                 execute: bool = True):
+                 execute: bool = True, *, recorder=None, injector=None,
+                 flight=None):
         self.machine = machine or Machine()
         self.accel = accel or Accelerator()
         self.n_accel_streams = accelerators * self.accel.n_streams
         self.offload = offload
-        self.execute = execute
-        self.trace: Optional[Trace] = None
+        super().__init__(execute=execute, recorder=recorder,
+                         injector=injector, flight=flight)
 
     # -- duration model ---------------------------------------------------
     def _duration(self, task: Task, on_gpu: bool,
@@ -94,77 +95,61 @@ class HeteroMachine:
             return t + work / m.stream_bw
         return t + work / m.flop_rate(task.name)
 
-    # -- execution ---------------------------------------------------------
-    def run(self, graph: TaskGraph) -> Trace:
-        graph.validate_acyclic()
+    # -- substrate hooks ---------------------------------------------------
+    def _virtual_workers(self) -> int:
+        return self.machine.n_cores + self.n_accel_streams
+
+    def _setup(self, graph) -> None:
         n_cpu = self.machine.n_cores
         n_workers = n_cpu + self.n_accel_streams
-        trace = Trace(n_workers=n_workers)
-        pending = {t.uid: t.n_deps for t in graph.tasks}
-        ready = _ReadyQueue()
-        for t in graph.tasks:
-            if pending[t.uid] == 0:
-                ready.push(t)
-        free_cpu = list(range(n_cpu - 1, -1, -1))
-        free_gpu = list(range(n_workers - 1, n_cpu - 1, -1))
+        self._free_cpu = list(range(n_cpu - 1, -1, -1))
+        self._free_gpu = list(range(n_workers - 1, n_cpu - 1, -1))
         #: handle uid -> ("cpu"|"gpu", resident bytes estimate)
-        location: dict[int, tuple[str, float]] = {}
+        self._location: dict[int, tuple[str, float]] = {}
         #: (end_time, start_time, task, worker)
-        running: list[tuple[float, float, Task, int]] = []
-        now = 0.0
-        done = 0
-        total = len(graph.tasks)
-        deferred: list[Task] = []
+        self._running: list[tuple[float, float, Task, int]] = []
+        self._deferred: list[Task] = []
 
-        while done < total:
-            # Assign every startable task; GPU-preferring tasks take an
-            # accelerator stream when one is free, otherwise a CPU core.
-            candidates: list[Task] = deferred
-            deferred = []
-            while len(ready):
-                candidates.append(ready.pop())
-            for task in candidates:
-                wants_gpu = task.name in self.offload
-                if wants_gpu and free_gpu:
-                    worker, on_gpu = free_gpu.pop(), True
-                elif free_cpu:
-                    worker, on_gpu = free_cpu.pop(), False
-                else:
-                    deferred.append(task)
-                    continue
-                if self.execute:
-                    task.run()
-                task.mark_done()
-                side = "gpu" if on_gpu else "cpu"
-                transfer = 0.0
-                cost = task.resolved_cost()
-                for handle, mode in task.accesses:
-                    loc = location.get(handle.uid)
-                    if loc is not None and loc[0] != side:
-                        transfer += loc[1]
-                    if mode is not Access.INPUT:
-                        location[handle.uid] = (
-                            side, max(cost.bytes_moved,
-                                      cost.flops * 8e-3, 4096.0))
-                dur = self._duration(task, on_gpu, transfer)
-                running.append((now + dur, now, task, worker))
-            if not running:
-                if done < total:
-                    raise RuntimeError("hetero deadlock")
-                break
-            running.sort(key=lambda r: r[0])
-            end, start, task, worker = running.pop(0)
-            now = end
-            trace.record(TraceEvent(task.uid, task.name, worker,
-                                    start, end, task.tag, task.priority))
-            if worker < n_cpu:
-                free_cpu.append(worker)
+    def _has_running(self) -> bool:
+        return bool(self._running)
+
+    def _dispatch(self, ready: ReadyQueue) -> None:
+        # Assign every startable task; GPU-preferring tasks take an
+        # accelerator stream when one is free, otherwise a CPU core.
+        candidates: list[Task] = self._deferred
+        self._deferred = []
+        while len(ready):
+            candidates.append(ready.pop()[0])
+        for task in candidates:
+            wants_gpu = task.name in self.offload
+            if wants_gpu and self._free_gpu:
+                worker, on_gpu = self._free_gpu.pop(), True
+            elif self._free_cpu:
+                worker, on_gpu = self._free_cpu.pop(), False
             else:
-                free_gpu.append(worker)
-            for s in task.successors:
-                pending[s.uid] -= 1
-                if pending[s.uid] == 0:
-                    ready.push(s)
-            done += 1
-        self.trace = trace
-        return trace
+                self._deferred.append(task)
+                continue
+            self._exec_payload(task)
+            side = "gpu" if on_gpu else "cpu"
+            transfer = 0.0
+            cost = task.resolved_cost()
+            for handle, mode in task.accesses:
+                loc = self._location.get(handle.uid)
+                if loc is not None and loc[0] != side:
+                    transfer += loc[1]
+                if mode is not Access.INPUT:
+                    self._location[handle.uid] = (
+                        side, max(cost.bytes_moved,
+                                  cost.flops * 8e-3, 4096.0))
+            dur = self._duration(task, on_gpu, transfer)
+            self._running.append((self._now + dur, self._now, task, worker))
+
+    def _advance(self) -> None:
+        self._running.sort(key=lambda r: r[0])
+        end, start, task, worker = self._running.pop(0)
+        self._now = end
+        if worker < self.machine.n_cores:
+            self._free_cpu.append(worker)
+        else:
+            self._free_gpu.append(worker)
+        self._complete_task(task, worker, start, end)

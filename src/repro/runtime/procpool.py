@@ -27,14 +27,17 @@ processes while keeping the task-flow semantics of
   sees its predecessors' state.  Everything O(n²) stays in shared
   memory.
 
-* **Parent-side scheduling.**  The parent's dispatcher thread owns the
-  readiness rule and the b-level priority heap (same keys as
-  ``WorkerPool``: ``(-priority, order_base + seq)``), runs per-run
-  fault injectors at dispatch, performs the secular-failure STEQR
-  fallback (child replicas set ``ctx._defer_fallback``), and degrades a
-  worker crash into a typed :class:`~repro.errors.TaskFailure` while
-  surviving workers drain and a replacement is respawned for future
-  runs.
+* **Parent-side scheduling.**  The parent's dispatcher thread drives
+  the shared engine (:mod:`repro.runtime.engine`): readiness and
+  release through :class:`~repro.runtime.engine.EngineRun`, the b-level
+  priority order through :class:`~repro.runtime.engine.ReadyQueue`
+  (same keys as ``WorkerPool``: ``(-priority, order_base + seq)``),
+  per-run fault injectors at dispatch, the secular-failure STEQR
+  fallback (child replicas set ``ctx._defer_fallback``; the parent-side
+  countdown is the engine's :func:`~repro.runtime.engine.parent_epilogue`
+  hook), and degrades a worker crash into a typed
+  :class:`~repro.errors.TaskFailure` while surviving workers drain and
+  a replacement is respawned for future runs.
 
 Numerics are bitwise identical to the sequential backend: every kernel
 executes exactly once, on operands that are either shared pages or
@@ -43,6 +46,7 @@ exact pickled copies of the producing kernel's outputs.
 
 from __future__ import annotations
 
+import concurrent.futures as cf
 import itertools
 import os
 import pickle
@@ -52,16 +56,21 @@ import threading
 import time
 import multiprocessing as mp
 from collections import OrderedDict
-from heapq import heappop, heappush
 from multiprocessing import shared_memory
 from typing import Any, Callable, Optional
 
 import numpy as np
 
-from ..errors import SchedulerError, TaskFailure, wrap_task_error
+from ..errors import SchedulerError, TaskFailure
+from .engine import EngineRun, ExecutionCore, ReadyQueue, parent_epilogue
+from .scheduler import default_thread_workers
 from .trace import Trace, TraceEvent
 
-__all__ = ["ProcPool", "ProcRun"]
+__all__ = ["ProcPool", "ProcRun", "ProcScheduler"]
+
+#: Back-compat alias: the run-isolation record now lives in the engine
+#: (one record shared with the thread substrate's ``PoolRun``).
+ProcRun = EngineRun
 
 #: Tasks dispatched ahead to each worker so the pipe hides latency.
 _PREFETCH = 2
@@ -396,66 +405,6 @@ def _proc_worker_main(wid: int, conn, results) -> None:
 # Parent side
 # ---------------------------------------------------------------------------
 
-class ProcRun:
-    """One solve submitted to a :class:`ProcPool`.
-
-    Mirrors :class:`~repro.runtime.scheduler.PoolRun`: dependency
-    countdowns, trace events, failure record and completion signal.
-    All mutable state is owned by the pool's dispatcher thread; readers
-    synchronize through :meth:`wait`.
-    """
-
-    __slots__ = ("rid", "ctx", "info", "graph", "opts", "n_tasks",
-                 "pending", "remaining", "t0", "events", "errors",
-                 "finalized", "trace", "recorder", "injector",
-                 "order_base", "on_done", "_done_event", "n_executed",
-                 "eligible", "outstanding")
-
-    def __init__(self, rid: int, ctx, graph, info, opts, order_base: int,
-                 recorder=None, injector=None,
-                 on_done: Optional[Callable[["ProcRun"], None]] = None):
-        self.rid = rid
-        self.ctx = ctx
-        self.graph = graph
-        self.info = info
-        self.opts = opts
-        self.n_tasks = len(graph.tasks)
-        self.pending = [t.n_deps for t in graph.tasks]
-        self.remaining = self.n_tasks
-        self.t0 = time.perf_counter()
-        self.events: list[TraceEvent] = []
-        self.errors: list[BaseException] = []
-        self.finalized = False
-        self.trace: Optional[Trace] = None
-        self.recorder = recorder
-        self.injector = injector
-        self.order_base = order_base
-        self.on_done = on_done
-        self.n_executed = 0
-        self.eligible: set[int] = set()       # wids this run may use
-        self.outstanding: dict[int, tuple] = {}   # seq -> (wid, epoch)
-        self._done_event = threading.Event()
-
-    @property
-    def failed(self) -> bool:
-        return bool(self.errors)
-
-    def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the run completes (or fails); True when done."""
-        return self._done_event.wait(timeout)
-
-    def result(self, timeout: Optional[float] = None) -> Trace:
-        """The run's trace; re-raises the first task failure, typed."""
-        if not self._done_event.wait(timeout):
-            raise SchedulerError("timed out waiting for pool run")
-        if self.errors:
-            raise self.errors[0]
-        return self.trace
-
-    def _key(self, task) -> tuple:
-        return (-task.priority, self.order_base + task.seq)
-
-
 class _Worker:
     """Parent-side record of one worker process."""
 
@@ -504,6 +453,9 @@ class ProcPool:
         self.workspace = workspace
         self.recorder = recorder
         self.flight = flight
+        self._core = ExecutionCore(None, None, flight)
+        self._worker_names = [f"proc-worker-{w}"
+                              for w in range(self.n_workers)]
         self._mp = mp.get_context("spawn")
         self._results = self._mp.Queue(maxsize=_RESULT_QUEUE_CAP)
         self._submits: queue.SimpleQueue = queue.SimpleQueue()
@@ -511,8 +463,8 @@ class ProcPool:
         self._order = 0
         self._rids = itertools.count()
         self._epochs = itertools.count()
-        self._active: dict[int, ProcRun] = {}
-        self._heap: list[tuple] = []          # (key, rid, seq)
+        self._active: dict[int, EngineRun] = {}
+        self._ready = ReadyQueue()            # (task, run) by engine key
         self._current: list = [None] * self.n_workers
         self.runs_completed = 0
         self._shutdown = False
@@ -571,9 +523,9 @@ class ProcPool:
 
     # -- submission ------------------------------------------------------
     def submit_solve(self, ctx, graph, info, opts, *, injector=None,
-                     on_done: Optional[Callable[[ProcRun], None]] = None
-                     ) -> ProcRun:
-        """Submit one solve; returns its :class:`ProcRun` handle.
+                     on_done: Optional[Callable[[EngineRun], None]] = None
+                     ) -> EngineRun:
+        """Submit one solve; returns its :class:`EngineRun` handle.
 
         ``ctx``/``graph``/``info`` are the parent's replica — the same
         objects the sequential backend would execute.  Workers rebuild
@@ -583,9 +535,10 @@ class ProcPool:
         with self._lock:
             if self._shutdown:
                 raise SchedulerError("worker pool is shut down")
-            run = ProcRun(next(self._rids), ctx, graph, info, opts,
-                          self._order, recorder=opts.telemetry,
-                          injector=injector, on_done=on_done)
+            run = EngineRun(graph, self._order, recorder=opts.telemetry,
+                            injector=injector, on_done=on_done,
+                            rid=next(self._rids), ctx=ctx, info=info,
+                            opts=opts)
             self._order += max(1, run.n_tasks)
         self._submits.put(("run", run))
         self._wake()
@@ -633,13 +586,13 @@ class ProcPool:
             run.errors.append(SchedulerError(
                 "worker pool shut down before run completed"))
             self._finish_run(run)
-        self._heap.clear()
+        self._ready.clear()
         for w in self._workers:
             if w.alive:
                 w.outq.put(("stop",))
             w.outq.put(None)
 
-    def _begin_run(self, run: ProcRun) -> None:
+    def _begin_run(self, run: EngineRun) -> None:
         if run.n_tasks == 0:
             run.finalized = True
             self._finish_run(run)
@@ -654,11 +607,12 @@ class ProcPool:
         for w in self._workers:
             if w.wid in run.eligible:
                 w.outq.put(("begin", run.rid, payload))
+        base = run.order_base
         for t in run.graph.tasks:
             if t.n_deps == 0:
-                heappush(self._heap, (run._key(t), run.rid, t.seq))
+                self._ready.push(t, run, base)
 
-    def _begin_payload(self, run: ProcRun) -> dict:
+    def _begin_payload(self, run: EngineRun) -> dict:
         from ..core.calibrate import get_calibration
         ws = self.workspace
         ctx = run.ctx
@@ -678,7 +632,7 @@ class ProcPool:
             payload["Vws"] = (ws.name_of(ctx.Vws), ctx.Vws.shape)
         return payload
 
-    def _pick_worker(self, run: ProcRun) -> Optional[_Worker]:
+    def _pick_worker(self, run: EngineRun) -> Optional[_Worker]:
         best = None
         for w in self._workers:
             if (w.alive and w.wid in run.eligible and w.load < _PREFETCH
@@ -687,19 +641,17 @@ class ProcPool:
         return best
 
     def _dispatch_ready(self) -> None:
-        heap = self._heap
+        ready = self._ready
         free = sum(1 for w in self._workers
                    if w.alive and w.load < _PREFETCH)
         blocked: list[tuple] = []
-        while heap and free > 0:
-            key, rid, seq = heappop(heap)
-            run = self._active.get(rid)
-            if run is None or run.finalized:
-                continue
-            task = run.graph.tasks[seq]
+        while len(ready) and free > 0:
+            task, run = ready.pop()
+            if self._active.get(run.rid) is not run or run.finalized:
+                continue                      # stale entry of a dead run
             w = self._pick_worker(run)
             if w is None:
-                blocked.append((key, rid, seq))
+                blocked.append((task, run))
                 if len(blocked) >= 64:
                     break
                 continue
@@ -710,14 +662,14 @@ class ProcPool:
                 except Exception as exc:
                     self._record_task_fail(run, task, -1, exc)
                     continue
-            w.outq.put(("task", rid, seq))
+            w.outq.put(("task", run.rid, task.seq))
             w.load += 1
             if w.load >= _PREFETCH:
                 free -= 1
-            run.outstanding[seq] = (w.wid, w.epoch)
+            run.outstanding[task.seq] = (w.wid, w.epoch)
             self._current[w.wid] = task
-        for item in blocked:
-            heappush(heap, item)
+        for task, run in blocked:
+            ready.push(task, run, run.order_base)
 
     # -- message handling ------------------------------------------------
     def _handle(self, msg: tuple) -> None:
@@ -767,24 +719,21 @@ class ProcPool:
                 if (ow.wid != wid and ow.alive
                         and ow.wid in run.eligible):
                     ow.outq.put(("delta", rid, seq, blob))
-        fname = getattr(task.func, "__name__", "")
-        if fname in ("t_copyback_panel", "t_update_vect_panel",
-                     "t_strip_update_panel", "t_update_eig_panel"):
-            # Parent-owned writer countdown: the last eigenvector writer
-            # of a secular-failed merge triggers the STEQR fallback here,
-            # with exclusive access (successors are not yet dispatched).
-            task.func.__self__._writer_done()
+        epilogue = parent_epilogue(task)
+        if epilogue is not None:
+            # Parent-owned fallback countdown (e.g. the eigenvector
+            # writers' ``_writer_done``): the last writer of a
+            # secular-failed merge triggers the STEQR fallback here, with
+            # exclusive access (successors are not yet dispatched).
+            epilogue()
         task.mark_done()
         run.events.append(TraceEvent(task.uid, task.name, wid,
                                      t0 - run.t0, t1 - run.t0, task.tag,
                                      task.priority))
-        fl = self.flight
-        if fl is not None:
-            fl.record_task(task, wid, t0, t1)
-        for s in task.successors:
-            run.pending[s.seq] -= 1
-            if run.pending[s.seq] == 0:
-                heappush(self._heap, (run._key(s), rid, s.seq))
+        self._core.task_done(task, wid, t0, t1)
+        base = run.order_base
+        for s in run.release(task):
+            self._ready.push(s, run, base)
         run.remaining -= 1
         run.n_executed += 1
         if run.remaining == 0 and not run.outstanding:
@@ -810,7 +759,7 @@ class ProcPool:
             # The worker's replica never initialized ("beginfail" raced
             # ahead of tasks already in its pipe): not a real failure —
             # requeue on the surviving workers.
-            heappush(self._heap, (run._key(task), rid, seq))
+            self._ready.push(task, run, run.order_base)
             return
         exc = _decode_exc(enc)
         self._record_task_fail(run, task, wid, exc, t0=t0, t1=t1)
@@ -827,7 +776,7 @@ class ProcPool:
             if not run.outstanding:
                 self._finish_run(run)
             return
-        heappush(self._heap, (run._key(run.graph.tasks[seq]), rid, seq))
+        self._ready.push(run.graph.tasks[seq], run, run.order_base)
 
     def _on_begin_fail(self, wid, rid, enc) -> None:
         run = self._active.get(rid)
@@ -841,23 +790,17 @@ class ProcPool:
                 count_task=False)
 
     # -- failure paths ---------------------------------------------------
-    def _record_task_fail(self, run: ProcRun, task, wid: int,
+    def _record_task_fail(self, run: EngineRun, task, wid: int,
                           exc: BaseException, t0: Optional[float] = None,
                           t1: Optional[float] = None) -> None:
         now = time.perf_counter()
-        fl = self.flight
-        if fl is not None:
-            fl.record("task.fail", task.name, wid, task.seq,
-                      now if t0 is None else t0,
-                      now if t1 is None else t1,
-                      detail=f"{type(exc).__name__}: {exc}")
-        failure = wrap_task_error(task, exc,
-                                  worker=None if wid < 0 else wid)
-        if failure is not exc:
-            failure.__cause__ = exc
+        failure = self._core.task_failed(
+            task, exc, worker=None if wid < 0 else wid,
+            t0=now if t0 is None else t0, t1=now if t1 is None else t1,
+            flight_worker=wid)
         self._fail_run(run, failure)
 
-    def _fail_run(self, run: ProcRun, failure: BaseException,
+    def _fail_run(self, run: EngineRun, failure: BaseException,
                   count_task: bool = True) -> None:
         """First failure cancels the run; queued tasks drain as no-ops
         and completion waits until no dispatched task is in flight."""
@@ -931,7 +874,7 @@ class ProcPool:
             pass
 
     # -- parent-side telemetry -------------------------------------------
-    def _parent_obs(self, run: ProcRun, task) -> None:
+    def _parent_obs(self, run: EngineRun, task) -> None:
         """Re-emit the deflation metrics the kernel would have recorded
         (child replicas run with telemetry stripped)."""
         if getattr(task.func, "__name__", "") != "t_compute_deflation":
@@ -960,33 +903,14 @@ class ProcPool:
                               jobz=ctx.opts.jobz))
 
     # -- completion ------------------------------------------------------
-    def _finish_run(self, run: ProcRun) -> None:
-        rec = run.recorder
-        observe = rec is not None and getattr(rec, "enabled", False)
-        if not run.failed:
-            trace = Trace(n_workers=self.n_workers,
-                          worker_names=[f"proc-worker-{w}"
-                                        for w in range(self.n_workers)])
-            run.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
-            trace.events = run.events
-            run.trace = trace
-            if observe:
-                rec.add("scheduler.tasks", run.n_tasks)
-        elif observe:
-            rec.add("scheduler.failures", len(run.errors))
-            rec.add("scheduler.cancelled_tasks", max(0, run.remaining))
-            rec.add("scheduler.tasks", run.n_executed)
+    def _finish_run(self, run: EngineRun) -> None:
+        """Pool bookkeeping, then the engine's single emission point."""
         self._active.pop(run.rid, None)
         self.runs_completed += 1
         for w in self._workers:
             if w.wid in run.eligible and w.alive:
                 w.outq.put(("end", run.rid))
-        if run.on_done is not None:
-            try:
-                run.on_done(run)
-            except Exception:                # a hook must never kill us
-                pass
-        run._done_event.set()
+        run.finish(self.n_workers, self._worker_names)
 
     # -- introspection (health endpoint / session stats) -----------------
     def current_tasks(self) -> list:
@@ -1009,3 +933,129 @@ class ProcPool:
     @property
     def closed(self) -> bool:
         return self._shutdown
+
+
+# ---------------------------------------------------------------------------
+# Generic process scheduler (Quark facade, backend="processes")
+# ---------------------------------------------------------------------------
+
+
+def _invoke(func, args):
+    """Module-level trampoline so child processes can unpickle the call."""
+    return func(*args)
+
+
+class ProcScheduler:
+    """One-shot process-parallel scheduler for *generic* task graphs.
+
+    The :class:`ProcPool` above is specialized for the eigensolver (it
+    ships shared-memory workspaces and replica-graph deltas); this class
+    is the process substrate of the generic
+    :class:`~repro.runtime.quark.Quark` facade: ``run(graph)`` executes
+    any picklable task flow on a spawn-context
+    :class:`concurrent.futures.ProcessPoolExecutor`, with the engine's
+    readiness rule (:class:`~repro.runtime.engine.ReadyQueue` priority
+    order via :meth:`EngineRun.release`), dispatch-time fault injection,
+    first-failure cancellation and flight recording — the same contract
+    as every other substrate.
+
+    Limitations inherent to process isolation: ``task.func``/``args``
+    must be picklable (module-level functions, not closures), and side
+    effects on parent objects do not propagate — a task's return value
+    comes back as ``task.result``, everything else stays in the child.
+    Worker attribution in the trace is by dispatch lane, not OS process.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, recorder=None,
+                 injector=None, flight=None):
+        if n_workers is None:
+            n_workers = default_thread_workers()
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.recorder = recorder
+        self.injector = injector
+        #: Optional :class:`~repro.obs.live.FlightRecorder` (one bounded
+        #: ring append per executed task / failure).
+        self.flight = flight
+        self.trace: Optional[Trace] = None
+
+    def run(self, graph) -> Trace:
+        graph.validate_acyclic()
+        core = ExecutionCore(self.recorder, self.injector, self.flight)
+        trace = Trace(n_workers=self.n_workers)
+        run = EngineRun(graph, 0)
+        total = run.n_tasks
+        ready = ReadyQueue()
+        for t in graph.tasks:
+            if t.n_deps == 0:
+                ready.push(t)
+        # Children must not oversubscribe BLAS (same policy as ProcPool).
+        added = [v for v in _BLAS_VARS if v not in os.environ]
+        for v in added:
+            os.environ[v] = "1"
+        first: Optional[tuple[BaseException, BaseException]] = None
+        n_done = 0
+        try:
+            with cf.ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=mp.get_context("spawn")) as ex:
+                inflight: dict = {}       # future -> (task, lane, t_start)
+                lanes = list(range(self.n_workers - 1, -1, -1))
+                t0 = time.perf_counter()
+                while n_done < total or inflight:
+                    while first is None and lanes and len(ready):
+                        task, _ = ready.pop()
+                        lane = lanes.pop()
+                        a = time.perf_counter() - t0
+                        try:
+                            core.guard(task)
+                        except Exception as exc:
+                            lanes.append(lane)
+                            core.emit_failure(1, total - n_done - 1)
+                            first = (core.task_failed(
+                                task, exc, worker=lane, t0=t0 + a,
+                                t1=time.perf_counter()), exc)
+                            break
+                        fut = ex.submit(_invoke, task.func, task.args)
+                        inflight[fut] = (task, lane, a)
+                    if not inflight:
+                        break
+                    done, _ = cf.wait(inflight,
+                                      return_when=cf.FIRST_COMPLETED)
+                    for fut in done:
+                        task, lane, a = inflight.pop(fut)
+                        lanes.append(lane)
+                        b = time.perf_counter() - t0
+                        try:
+                            task.result = fut.result()
+                        except Exception as exc:
+                            if first is None:
+                                core.emit_failure(1, total - n_done - 1)
+                                first = (core.task_failed(
+                                    task, exc, worker=lane, t0=t0 + a,
+                                    t1=t0 + b), exc)
+                            continue
+                        if first is not None:
+                            continue      # cancelled run: drain as no-ops
+                        task.mark_done()
+                        trace.record(TraceEvent(task.uid, task.name, lane,
+                                                a, b, task.tag,
+                                                task.priority))
+                        core.task_done(task, lane, t0 + a, t0 + b)
+                        for s in run.release(task):
+                            ready.push(s)
+                        n_done += 1
+        finally:
+            for v in added:
+                os.environ.pop(v, None)
+        if first is not None:
+            failure, exc = first
+            raise failure from exc
+        if n_done < total:                   # pragma: no cover
+            raise SchedulerError(
+                "ProcScheduler: no runnable tasks but the graph is "
+                "incomplete")
+        core.emit_success(total)
+        self.trace = trace
+        return trace

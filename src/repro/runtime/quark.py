@@ -11,10 +11,19 @@ Backends
     Submission-order execution on the calling thread.
 ``"threads"``
     Real out-of-order execution on ``n_workers`` OS threads.
+``"processes"``
+    Real out-of-order execution on ``n_workers`` spawned OS processes
+    (:class:`~repro.runtime.procpool.ProcScheduler`); task functions and
+    arguments must be picklable, results come back via ``task.result``.
 ``"simulated"``
     Deterministic discrete-event execution on a virtual
     :class:`~repro.runtime.simulator.Machine` (default: the paper's
     16-core dual-socket Xeon).
+
+Every backend is a substrate of the shared engine
+(:mod:`repro.runtime.engine`), so fault injection, flight recording,
+priorities and first-failure cancellation behave identically on all of
+them.
 """
 
 from __future__ import annotations
@@ -40,19 +49,20 @@ class Quark:
                  flight=None):
         self.backend = backend
         self.recorder = recorder
-        #: Optional :class:`~repro.obs.live.FlightRecorder` handed to the
-        #: wall-clock schedulers (the simulator's virtual time would be
-        #: meaningless in the ring, so it is skipped).
+        #: Optional :class:`~repro.obs.live.FlightRecorder` handed to
+        #: every backend (the simulator records virtual timestamps —
+        #: task identity and ordering stay inspectable in the ring).
         self.flight = flight
         self.injector = (FaultInjector(fault_injection)
                          if fault_injection is not None else None)
         self.machine = machine if machine is not None else (
             Machine() if backend == "simulated" else None)
         if n_workers is None:
-            # threads: one worker per core (clamped), like the paper's
-            # 1-16 thread study — not a hardcoded constant.
+            # threads/processes: one worker per core (clamped), like the
+            # paper's 1-16 thread study — not a hardcoded constant.
             n_workers = self.machine.n_cores if self.machine else (
-                default_thread_workers() if backend == "threads" else 1)
+                default_thread_workers()
+                if backend in ("threads", "processes") else 1)
         self.n_workers = n_workers
         self.graph = TaskGraph()
         self.traces: list[Trace] = []
@@ -76,10 +86,16 @@ class Quark:
             return ThreadScheduler(self.n_workers, recorder=self.recorder,
                                    injector=self.injector,
                                    flight=self.flight)
+        if self.backend == "processes":
+            from .procpool import ProcScheduler
+            return ProcScheduler(self.n_workers, recorder=self.recorder,
+                                 injector=self.injector,
+                                 flight=self.flight)
         if self.backend == "simulated":
             return SimulatedMachine(self.machine, n_workers=self.n_workers,
                                     recorder=self.recorder,
-                                    injector=self.injector)
+                                    injector=self.injector,
+                                    flight=self.flight)
         raise ValueError(f"unknown backend {self.backend!r}")
 
     def barrier(self) -> Trace:

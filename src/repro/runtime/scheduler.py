@@ -1,37 +1,50 @@
-"""Out-of-order execution backends for a :class:`~repro.runtime.dag.TaskGraph`.
+"""Wall-clock execution substrates for a :class:`~repro.runtime.dag.TaskGraph`.
 
-Two backends execute the same DAG:
+The shared engine (:mod:`repro.runtime.engine`) owns readiness,
+cancellation, fault injection and emission; this module contributes the
+in-process substrates that execute under it:
 
 * :class:`SequentialScheduler` — runs tasks in submission order on the
   calling thread; the reference for correctness and for the paper's
   "sequential execution" timings.
-* :class:`ThreadScheduler` — a work-stealing worker pool: each worker
-  owns a priority deque of ready tasks, resolves successor dependency
-  counts with striped per-task locks, and steals from its peers when its
-  own deque runs dry.  A condition variable is used *only* to park idle
-  workers — the task hot path (pop, run, resolve successors) never takes
-  a global lock, which is what keeps per-task overhead low enough for
-  the paper's fine-grained panel tasks (the QUARK design point).
-  NumPy/BLAS kernels release the GIL, so the heavy tasks (``UpdateVect``
-  GEMMs, vectorized secular solves) genuinely overlap.
+* :class:`WorkerPool` — the work-stealing thread substrate: ``n_workers``
+  persistent OS threads, each owning a priority
+  :class:`~repro.runtime.engine.ReadyQueue`, resolving successor
+  dependency counts with striped per-task locks and stealing from peers
+  when their own queue runs dry.  A condition variable is used *only* to
+  park idle workers — the task hot path (pop, run, resolve successors)
+  never takes a global lock, which is what keeps per-task overhead low
+  enough for the paper's fine-grained panel tasks (the QUARK design
+  point).  NumPy/BLAS kernels release the GIL, so the heavy tasks
+  (``UpdateVect`` GEMMs, vectorized secular solves) genuinely overlap.
+  Many sub-graphs execute fused: each :meth:`WorkerPool.submit` returns
+  an :class:`~repro.runtime.engine.EngineRun` isolation record.
+* :class:`ThreadScheduler` — the one-shot facade over the same
+  substrate: ``run(graph)`` spins up a private pool, submits the graph,
+  joins the workers and returns the trace (the paper's 1-16 thread
+  study shape).
 
-Both record a :class:`~repro.runtime.trace.Trace` using wall-clock time.
-Deterministic multicore *timing* studies use the discrete-event backend in
-:mod:`repro.runtime.simulator` instead.
+All substrates record a :class:`~repro.runtime.trace.Trace` using
+wall-clock time.  Deterministic multicore *timing* studies use the
+discrete-event substrates in :mod:`repro.runtime.simulator` /
+:mod:`repro.runtime.distributed` / :mod:`repro.runtime.hetero` instead.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
 import threading
 import time
 from typing import Callable, Optional
 
-from ..errors import SchedulerError, wrap_task_error
+from ..errors import SchedulerError
 from .dag import TaskGraph
-from .task import Task
+from .engine import EngineRun, ExecutionCore, ReadyQueue, WorkerStats
 from .trace import Trace, TraceEvent
+
+#: Back-compat alias: the pool's run-isolation record now lives in the
+#: engine (one record shared with the process substrate).
+PoolRun = EngineRun
 
 
 def default_thread_workers() -> int:
@@ -42,23 +55,6 @@ def default_thread_workers() -> int:
     instead of the historical hardcoded 4.
     """
     return max(1, min(32, os.cpu_count() or 4))
-
-
-class _ReadyQueue:
-    """Priority queue over ready tasks: higher priority first, then the
-    sequential-task-flow submission order (QUARK's default policy)."""
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Task]] = []
-
-    def push(self, task: Task) -> None:
-        heapq.heappush(self._heap, (-task.priority, task.seq, task))
-
-    def pop(self) -> Task:
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)
 
 
 class SequentialScheduler:
@@ -81,315 +77,34 @@ class SequentialScheduler:
     def run(self, graph: TaskGraph) -> Trace:
         graph.validate_acyclic()
         trace = Trace(n_workers=1)
-        inj = self.injector
-        rec = self.recorder
-        fl = self.flight
+        core = ExecutionCore(self.recorder, self.injector, self.flight)
+        guard = core.guard
+        task_done = core.task_done
         cur = self._current
+        tasks = graph.tasks
         t0 = time.perf_counter()
-        for i, task in enumerate(graph.tasks):
+        for i, task in enumerate(tasks):
             cur[0] = task
             a = time.perf_counter() - t0
             try:
-                if inj is not None:
-                    inj.maybe_fail(task)
+                guard(task)
                 task.run()
             except Exception as exc:
                 # First failure cancels the run: the remaining tasks are
                 # dropped and the exception propagates with task context.
                 cur[0] = None
-                if rec is not None and rec.enabled:
-                    rec.add("scheduler.failures")
-                    rec.add("scheduler.cancelled_tasks",
-                            len(graph.tasks) - i - 1)
-                if fl is not None:
-                    fl.record("task.fail", task.name, 0, task.seq,
-                              t0 + a, time.perf_counter(),
-                              detail=f"{type(exc).__name__}: {exc}")
-                raise wrap_task_error(task, exc) from exc
+                core.emit_failure(1, len(tasks) - i - 1)
+                raise core.task_failed(task, exc, t0=t0 + a,
+                                       t1=time.perf_counter()) from exc
             task.mark_done()
             b = time.perf_counter() - t0
             cur[0] = None
             trace.record(TraceEvent(task.uid, task.name, 0, a, b, task.tag,
                                     task.priority))
-            if fl is not None:
-                fl.record_task(task, 0, t0 + a, t0 + b)
-        if rec is not None and rec.enabled:
-            rec.add("scheduler.tasks", len(graph.tasks))
+            task_done(task, 0, t0 + a, t0 + b)
+        core.emit_success(len(tasks))
         self.trace = trace
         return trace
-
-
-class _WorkerDeque:
-    """One worker's ready set: a lock-guarded priority heap.
-
-    The owner and thieves pop the same way — best (priority, seq) first —
-    so QUARK's ordering policy is preserved locally; global order is only
-    approximate under stealing, which does not affect correctness (any
-    topological order is valid) and matches real work-stealing runtimes.
-    """
-
-    __slots__ = ("lock", "heap")
-
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
-        self.heap: list[tuple[int, int, Task]] = []
-
-    def push(self, task: Task) -> None:
-        with self.lock:
-            heapq.heappush(self.heap, (-task.priority, task.seq, task))
-
-    def pop(self) -> Optional[Task]:
-        with self.lock:
-            if self.heap:
-                return heapq.heappop(self.heap)[2]
-        return None
-
-
-class ThreadScheduler:
-    """Work-stealing out-of-order scheduler over ``n_workers`` OS threads.
-
-    Design (per the low-per-task-overhead requirement of fine-grained
-    task flows):
-
-    * **per-worker ready deques** seeded round-robin in submission order
-      (so the initial distribution follows the sequential task flow);
-    * **striped dependency counting**: a completing task decrements each
-      successor's pending count under one of ``n_stripes`` locks chosen
-      by task id — no global scheduler lock on the hot path;
-    * **stealing on empty**: a worker whose deque is empty sweeps its
-      peers (starting from its right neighbour) and steals the best
-      ready task it finds;
-    * **condvar parking only when idle**: workers block on the shared
-      condition variable only after an unsuccessful sweep; completions
-      that publish new ready tasks bump a version counter and notify.
-    """
-
-    def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
-                 recorder=None, injector=None, flight=None):
-        if n_workers is None:
-            n_workers = default_thread_workers()
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        self.n_workers = n_workers
-        self.n_stripes = max(1, n_stripes)
-        self.recorder = recorder
-        self.injector = injector
-        #: Optional :class:`~repro.obs.live.FlightRecorder` (one bounded
-        #: ring append per executed task / failure).
-        self.flight = flight
-        self.trace: Optional[Trace] = None
-        self._current: list = [None] * n_workers
-        self._deques: list[_WorkerDeque] = []
-
-    def current_tasks(self) -> list:
-        """Per-worker currently-executing task slots (``None`` = idle).
-
-        Written by the workers without locks (slot stores are atomic
-        under the GIL); the sampling profiler reads a racy-but-safe
-        snapshot."""
-        return list(self._current)
-
-    def queue_depths(self) -> list[int]:
-        """Per-worker ready-queue depths (unlocked, approximate)."""
-        return [len(d.heap) for d in self._deques]
-
-    def run(self, graph: TaskGraph) -> Trace:
-        graph.validate_acyclic()
-        nw = self.n_workers
-        trace = Trace(n_workers=nw)
-        tasks = graph.tasks
-        # Per-run countdown of unresolved dependencies, indexed by the
-        # submission order ``seq`` (don't mutate the graph's n_deps so
-        # the same graph can be re-analyzed / re-instantiated).
-        pending = [t.n_deps for t in tasks]
-        stripes = [threading.Lock() for _ in range(self.n_stripes)]
-        deques = [_WorkerDeque() for _ in range(nw)]
-        self._deques = deques
-        self._current = current = [None] * nw
-        fl = self.flight
-        wevents: list[list[TraceEvent]] = [[] for _ in range(nw)]
-        widle: list[list[tuple[float, float]]] = [[] for _ in range(nw)]
-        rec = self.recorder
-        inj = self.injector
-        # Telemetry is strictly off-hot-path: when disabled nothing below
-        # allocates or times; when enabled, counters accumulate in plain
-        # per-worker slots and merge into the recorder once after join.
-        observe = rec is not None and getattr(rec, "enabled", False)
-        wstats = [_WorkerStats() for _ in range(nw)] if observe else None
-
-        seeded = 0
-        for t in tasks:
-            if t.n_deps == 0:
-                deques[seeded % nw].push(t)
-                seeded += 1
-
-        idle_cv = threading.Condition()
-        state = {"remaining": len(tasks), "version": 0}
-        errors: list[BaseException] = []
-        t0 = time.perf_counter()
-
-        def try_pop(wid: int, st: Optional["_WorkerStats"]) -> Optional[Task]:
-            task = deques[wid].pop()
-            if task is not None:
-                return task
-            if st is not None:
-                st.steal_attempts += 1
-            for off in range(1, nw):        # steal sweep
-                task = deques[(wid + off) % nw].pop()
-                if task is not None:
-                    if st is not None:
-                        st.steal_successes += 1
-                    return task
-            return None
-
-        def worker(wid: int) -> None:
-            events = wevents[wid]
-            idles = widle[wid]
-            my = deques[wid]
-            st = wstats[wid] if observe else None
-            while True:
-                # Unlocked reads are safe under the GIL; the condvar
-                # re-checks before parking, so no wakeup can be lost.
-                if errors or state["remaining"] == 0:
-                    return
-                version = state["version"]
-                task = try_pop(wid, st)
-                if task is None:
-                    parked = False
-                    with idle_cv:
-                        if (state["remaining"] > 0 and not errors
-                                and state["version"] == version):
-                            pa = time.perf_counter() - t0
-                            # Timeout is a lost-wakeup safety net only.
-                            idle_cv.wait(timeout=0.05)
-                            pb = time.perf_counter() - t0
-                            parked = True
-                    if parked:
-                        idles.append((pa, pb))
-                        if st is not None:
-                            st.parks += 1
-                            st.park_s += pb - pa
-                    continue
-
-                current[wid] = task
-                a = time.perf_counter() - t0
-                try:
-                    if inj is not None:
-                        inj.maybe_fail(task)
-                    task.run()
-                except Exception as exc:
-                    # First failure marks the run failed: peers drain
-                    # their queues as no-ops and park/join within the
-                    # condvar timeout bound; the exception propagates
-                    # to the caller wrapped with its task context.
-                    current[wid] = None
-                    if fl is not None:
-                        fl.record("task.fail", task.name, wid, task.seq,
-                                  t0 + a, time.perf_counter(),
-                                  detail=f"{type(exc).__name__}: {exc}")
-                    failure = wrap_task_error(task, exc, worker=wid)
-                    if failure is not exc:
-                        failure.__cause__ = exc
-                    with idle_cv:
-                        errors.append(failure)
-                        idle_cv.notify_all()
-                    return
-                except BaseException as exc:   # KeyboardInterrupt & co.
-                    current[wid] = None
-                    with idle_cv:
-                        errors.append(exc)
-                        idle_cv.notify_all()
-                    return
-                b = time.perf_counter() - t0
-                task.mark_done()
-                current[wid] = None
-                events.append(TraceEvent(task.uid, task.name, wid,
-                                         a, b, task.tag, task.priority))
-                if fl is not None:
-                    fl.record_task(task, wid, t0 + a, t0 + b)
-
-                made_ready = 0
-                if st is not None:
-                    ra = time.perf_counter()
-                for s in task.successors:
-                    with stripes[s.seq % self.n_stripes]:
-                        pending[s.seq] -= 1
-                        now_ready = pending[s.seq] == 0
-                    if now_ready:
-                        my.push(s)             # locality: keep it local
-                        made_ready += 1
-                if st is not None:
-                    st.dep_s += time.perf_counter() - ra
-                    st.depth_samples.append((b, float(len(my.heap))))
-                with idle_cv:
-                    state["remaining"] -= 1
-                    state["version"] += 1
-                    if state["remaining"] == 0:
-                        idle_cv.notify_all()
-                    elif made_ready > 1:
-                        idle_cv.notify(made_ready - 1)
-                    elif made_ready == 0:
-                        # Nothing new published; peers may still be
-                        # waiting on tasks stolen from us — cheap notify.
-                        idle_cv.notify(1)
-
-        threads = [threading.Thread(target=worker, args=(w,), daemon=True)
-                   for w in range(nw)]
-        for th in threads:
-            th.start()
-        for th in threads:
-            th.join()
-        if errors:
-            # All workers are joined; the queued-but-never-run tasks were
-            # drained as no-ops.  Surface the first failure, typed.
-            if observe:
-                rec.add("scheduler.failures", len(errors))
-                rec.add("scheduler.cancelled_tasks",
-                        state["remaining"] - len(errors))
-                self._merge_stats(rec, wstats,
-                                  len(tasks) - state["remaining"])
-            raise errors[0]
-        for events in wevents:
-            for ev in events:
-                trace.record(ev)
-        trace.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
-        for w, idles in enumerate(widle):
-            for a, b in idles:
-                trace.record_idle(w, a, b)
-        if observe:
-            self._merge_stats(rec, wstats, len(tasks))
-        self.trace = trace
-        return trace
-
-    @staticmethod
-    def _merge_stats(rec, wstats: list["_WorkerStats"], n_tasks: int) -> None:
-        """Fold the per-worker counter slots into the recorder."""
-        rec.add("scheduler.tasks", n_tasks)
-        for w, st in enumerate(wstats):
-            rec.add("scheduler.steal.attempts", st.steal_attempts)
-            rec.add("scheduler.steal.successes", st.steal_successes)
-            rec.add("scheduler.park.count", st.parks)
-            rec.add("scheduler.park.time_s", st.park_s)
-            rec.add("scheduler.dep_resolve.time_s", st.dep_s)
-            rec.bulk_samples("scheduler.queue_depth", w, st.depth_samples)
-            rec.observe_many("scheduler.queue_depth",
-                             (d for _, d in st.depth_samples))
-
-
-class _WorkerStats:
-    """Per-worker telemetry slots, merged into the recorder after join
-    (no locks or recorder calls on the worker loop)."""
-
-    __slots__ = ("steal_attempts", "steal_successes", "parks", "park_s",
-                 "dep_s", "depth_samples")
-
-    def __init__(self) -> None:
-        self.steal_attempts = 0
-        self.steal_successes = 0
-        self.parks = 0
-        self.park_s = 0.0
-        self.dep_s = 0.0
-        self.depth_samples: list[tuple[float, float]] = []
 
 
 # ---------------------------------------------------------------------------
@@ -401,110 +116,33 @@ class _WorkerStats:
 #: recorder (bounds telemetry memory in a long-lived pool).
 _DEPTH_FLUSH = 1024
 
-
-class _FusedDeque:
-    """One pool worker's ready set: lock-guarded heap of keyed entries.
-
-    Entries are ``(key, (task, run))`` where ``key = (-priority,
-    global_order)`` is unique pool-wide, so heap comparison never reaches
-    the (non-comparable) payload and tasks from different sub-graphs
-    interleave by priority, then overall submission order."""
-
-    __slots__ = ("lock", "heap")
-
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
-        self.heap: list[tuple[tuple[int, int], tuple]] = []
-
-    def push(self, key: tuple[int, int], item: tuple) -> None:
-        with self.lock:
-            heapq.heappush(self.heap, (key, item))
-
-    def pop(self) -> Optional[tuple]:
-        with self.lock:
-            if self.heap:
-                return heapq.heappop(self.heap)[1]
-        return None
-
-
-class PoolRun:
-    """One sub-graph submitted to a :class:`WorkerPool`.
-
-    Owns the run's dependency countdowns, trace events, failure record
-    and completion signal.  Isolation boundary of the fused super-DAG:
-    a task failure marks *this* run failed (its queued tasks drain as
-    no-ops) while every other run proceeds untouched.
-
-    ``inflight`` counts tasks of this run currently executing on some
-    worker.  Completion (and the ``on_done`` hook, which may recycle the
-    run's workspace buffers) only happens once the run is finalized AND
-    ``inflight`` is zero — a failed run must not release buffers while a
-    peer worker is still writing into them.
-    """
-
-    __slots__ = ("graph", "n_tasks", "pending", "remaining", "t0",
-                 "events", "errors", "finalized", "trace", "recorder",
-                 "injector", "order_base", "on_done", "_done_event",
-                 "n_executed", "lock", "inflight", "_deferred")
-
-    def __init__(self, graph: TaskGraph, order_base: int,
-                 recorder=None, injector=None,
-                 on_done: Optional[Callable[["PoolRun"], None]] = None):
-        self.graph = graph
-        self.n_tasks = len(graph.tasks)
-        self.pending = [t.n_deps for t in graph.tasks]
-        self.remaining = self.n_tasks
-        self.t0 = time.perf_counter()
-        self.events: list[TraceEvent] = []   # list.append is GIL-atomic
-        self.errors: list[BaseException] = []
-        self.finalized = False
-        self.trace: Optional[Trace] = None
-        self.recorder = recorder
-        self.injector = injector
-        self.order_base = order_base
-        self.on_done = on_done
-        self.n_executed = 0
-        self.lock = threading.Lock()   # guards the lifecycle fields below
-        self.inflight = 0              # tasks executing on a worker now
-        self._deferred = False         # completion awaits inflight == 0
-        self._done_event = threading.Event()
-
-    @property
-    def failed(self) -> bool:
-        return bool(self.errors)
-
-    def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until the run completes (or fails); True when done."""
-        return self._done_event.wait(timeout)
-
-    def result(self, timeout: Optional[float] = None) -> Trace:
-        """The run's trace; re-raises the first task failure, typed."""
-        if not self._done_event.wait(timeout):
-            raise SchedulerError("timed out waiting for pool run")
-        if self.errors:
-            raise self.errors[0]
-        return self.trace
+#: Sentinel: "use the pool's default proper worker names".
+_POOL_DEFAULT = object()
 
 
 class WorkerPool:
     """Persistent work-stealing worker pool executing fused sub-graphs.
 
-    The scheduling core is the same as :class:`ThreadScheduler` —
-    per-worker priority deques, striped dependency counting, stealing on
-    empty, condvar parking — but the ``n_workers`` OS threads are
-    spawned **once** and park between solves instead of being joined:
-    :meth:`submit` seeds a new sub-graph's source tasks into the worker
-    deques and returns immediately with a :class:`PoolRun` handle, so
-    panel tasks from one problem fill workers idled by another problem's
-    serial merge spine (the fused super-DAG of the session layer).
+    The thread substrate of the engine: per-worker priority queues
+    (:class:`~repro.runtime.engine.ReadyQueue`), striped dependency
+    counting via :meth:`EngineRun.release`, stealing on empty, condvar
+    parking.  The ``n_workers`` OS threads are spawned **once** and park
+    between solves instead of being joined: :meth:`submit` seeds a new
+    sub-graph's source tasks into the worker queues and returns
+    immediately with an :class:`~repro.runtime.engine.EngineRun` handle,
+    so panel tasks from one problem fill workers idled by another
+    problem's serial merge spine (the fused super-DAG of the session
+    layer).
 
     Isolation is per run: dependency countdowns, traces, fault injectors
-    and failure state are all run-local; the only shared state is the
-    ready deques and the idle condvar.
+    and failure state are all run-local (owned by the
+    :class:`EngineRun`); the only shared state is the ready queues and
+    the idle condvar.
     """
 
     def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
-                 recorder=None, flight=None):
+                 recorder=None, flight=None, worker_names=_POOL_DEFAULT,
+                 record_idle: bool = False):
         if n_workers is None:
             n_workers = default_thread_workers()
         if n_workers < 1:
@@ -515,24 +153,34 @@ class WorkerPool:
         #: Optional :class:`~repro.obs.live.FlightRecorder` shared by
         #: every run of the pool (one bounded append per task).
         self.flight = flight
+        self._core = ExecutionCore(recorder, None, flight)
+        if worker_names is _POOL_DEFAULT:
+            names = [f"pool-worker-{w}" for w in range(n_workers)]
+        else:
+            names = list(worker_names) if worker_names else None
+        self._worker_names = names
+        #: Absolute ``(wid, park_start, park_end)`` intervals, collected
+        #: only when ``record_idle`` (the one-shot facade's idle track).
+        self._idles: Optional[list[tuple[int, float, float]]] = (
+            [] if record_idle else None)
         #: Per-worker currently-executing task slots (``None`` = idle);
         #: GIL-atomic stores, read racily by the sampling profiler and
         #: the health endpoint.
         self._current: list = [None] * n_workers
         self._parked = 0        # workers blocked on the condvar now
-        self._deques = [_FusedDeque() for _ in range(n_workers)]
+        self._deques = [ReadyQueue(locked=True) for _ in range(n_workers)]
         self._stripes = [threading.Lock() for _ in range(self.n_stripes)]
         self._cv = threading.Condition()
         self._state = {"version": 0}
         self._shutdown = False
         self._order = 0          # global submission-order counter
         self._rr = 0             # round-robin seeding cursor
-        self._active: set[PoolRun] = set()   # submitted, not yet completed
+        self._active: set[EngineRun] = set()  # submitted, not completed
         self._t0 = time.perf_counter()       # pool epoch for telemetry
         self.runs_completed = 0
         observe = recorder is not None and getattr(recorder, "enabled",
                                                    False)
-        self._wstats = ([_WorkerStats() for _ in range(n_workers)]
+        self._wstats = ([WorkerStats() for _ in range(n_workers)]
                         if observe else None)
         self._threads = [
             threading.Thread(target=self._worker, args=(w,), daemon=True,
@@ -543,15 +191,15 @@ class WorkerPool:
 
     # -- submission ------------------------------------------------------
     def submit(self, graph: TaskGraph, *, recorder=None, injector=None,
-               on_done: Optional[Callable[[PoolRun], None]] = None
-               ) -> PoolRun:
+               on_done: Optional[Callable[[EngineRun], None]] = None
+               ) -> EngineRun:
         """Fuse ``graph`` into the running super-DAG; returns its handle."""
         graph.validate_acyclic()
         with self._cv:
             if self._shutdown:
                 raise SchedulerError("worker pool is shut down")
-            run = PoolRun(graph, self._order, recorder=recorder,
-                          injector=injector, on_done=on_done)
+            run = EngineRun(graph, self._order, recorder=recorder,
+                            injector=injector, on_done=on_done)
             self._order += max(1, run.n_tasks)
             if run.n_tasks == 0:
                 run.finalized = True
@@ -559,10 +207,10 @@ class WorkerPool:
                 self._active.add(run)
                 nw = self.n_workers
                 seeded = self._rr
+                base = run.order_base
                 for t in graph.tasks:
                     if t.n_deps == 0:
-                        self._deques[seeded % nw].push(
-                            (-t.priority, run.order_base + t.seq), (t, run))
+                        self._deques[seeded % nw].push(t, run, base)
                         seeded += 1
                 self._rr = seeded % nw
                 self._state["version"] += 1
@@ -574,7 +222,7 @@ class WorkerPool:
 
     # -- worker loop -----------------------------------------------------
     def _try_pop(self, wid: int,
-                 st: Optional[_WorkerStats]) -> Optional[tuple]:
+                 st: Optional[WorkerStats]) -> Optional[tuple]:
         entry = self._deques[wid].pop()
         if entry is not None:
             return entry
@@ -593,9 +241,11 @@ class WorkerPool:
         my = self._deques[wid]
         cv = self._cv
         stripes = self._stripes
+        n_stripes = self.n_stripes
         state = self._state
         st = self._wstats[wid] if self._wstats is not None else None
-        fl = self.flight
+        core = self._core
+        idles = self._idles
         current = self._current
         while True:
             # Unlocked reads are safe under the GIL; the condvar re-checks
@@ -612,9 +262,12 @@ class WorkerPool:
                         # Timeout is a lost-wakeup safety net only.
                         cv.wait(timeout=0.05)
                         self._parked -= 1
+                        pb = time.perf_counter()
                         if st is not None:
                             st.parks += 1
-                            st.park_s += time.perf_counter() - pa
+                            st.park_s += pb - pa
+                        if idles is not None:
+                            idles.append((wid, pa, pb))
                 continue
 
             task, run = entry
@@ -623,21 +276,16 @@ class WorkerPool:
                     continue        # failed run: drain queued tasks as no-ops
                 run.inflight += 1
             current[wid] = task
+            inj = run.injector
             a = time.perf_counter()
             try:
-                if run.injector is not None:
-                    run.injector.maybe_fail(task)
+                if inj is not None:
+                    inj.maybe_fail(task)
                 task.run()
             except Exception as exc:
                 current[wid] = None
-                if fl is not None:
-                    fl.record("task.fail", task.name, wid, task.seq,
-                              a, time.perf_counter(),
-                              detail=f"{type(exc).__name__}: {exc}")
-                failure = wrap_task_error(task, exc, worker=wid)
-                if failure is not exc:
-                    failure.__cause__ = exc
-                self._fail_run(run, failure)
+                self._fail_run(run, core.task_failed(
+                    task, exc, worker=wid, t0=a, t1=time.perf_counter()))
                 continue
             except BaseException as exc:    # KeyboardInterrupt & co.
                 current[wid] = None
@@ -649,26 +297,19 @@ class WorkerPool:
             run.events.append(TraceEvent(task.uid, task.name, wid,
                                          a - run.t0, b - run.t0, task.tag,
                                          task.priority))
-            if fl is not None:
-                fl.record_task(task, wid, a, b)
+            core.task_done(task, wid, a, b)
 
             made_ready = 0
             if not run.failed:
                 if st is not None:
                     ra = time.perf_counter()
                 base = run.order_base
-                pending = run.pending
-                for s in task.successors:
-                    with stripes[s.seq % self.n_stripes]:
-                        pending[s.seq] -= 1
-                        now_ready = pending[s.seq] == 0
-                    if now_ready:
-                        my.push((-s.priority, base + s.seq), (s, run))
-                        made_ready += 1
+                for s in run.release(task, stripes, n_stripes):
+                    my.push(s, run, base)      # locality: keep it local
+                    made_ready += 1
                 if st is not None:
                     st.dep_s += time.perf_counter() - ra
-                    st.depth_samples.append((b - self._t0,
-                                             float(len(my.heap))))
+                    st.depth_samples.append((b - self._t0, float(len(my))))
                     if len(st.depth_samples) >= _DEPTH_FLUSH:
                         self._flush_depth(wid, st)
             done = False
@@ -698,7 +339,7 @@ class WorkerPool:
                 self._complete(run)
 
     # -- run completion --------------------------------------------------
-    def _fail_run(self, run: PoolRun, failure: BaseException) -> None:
+    def _fail_run(self, run: EngineRun, failure: BaseException) -> None:
         """Record a task failure.  Completion is deferred while peers are
         still executing tasks of this run: the on_done hook may hand the
         run's workspace buffers to a concurrent same-shape solve, so it
@@ -722,52 +363,25 @@ class WorkerPool:
         if complete_now:
             self._complete(run)
 
-    def _complete(self, run: PoolRun) -> None:
-        """Build the run's trace/stats and signal completion.
-
-        Called exactly once per run, only when no task of the run is
-        executing or can still start (finalized and ``inflight == 0``).
-        """
-        rec = run.recorder
-        observe = rec is not None and getattr(rec, "enabled", False)
-        if not run.failed:
-            trace = Trace(n_workers=self.n_workers,
-                          worker_names=[f"pool-worker-{w}"
-                                        for w in range(self.n_workers)])
-            run.events.sort(key=lambda e: (e.t_start, e.t_end, e.task_uid))
-            trace.events = run.events
-            run.trace = trace
-            if observe:
-                rec.add("scheduler.tasks", run.n_tasks)
-        elif observe:
-            rec.add("scheduler.failures", len(run.errors))
-            rec.add("scheduler.cancelled_tasks", max(0, run.remaining))
-            rec.add("scheduler.tasks", run.n_executed)
+    def _complete(self, run: EngineRun) -> None:
+        """Pool bookkeeping, then the engine's single emission point."""
         with self._cv:
             self.runs_completed += 1
             self._active.discard(run)
-        if run.on_done is not None:
-            try:
-                run.on_done(run)
-            except Exception:       # a hook must never kill a worker
-                pass
-        run._done_event.set()
+        run.finish(self.n_workers, self._worker_names)
 
     # -- telemetry -------------------------------------------------------
-    def _flush_depth(self, wid: int, st: _WorkerStats) -> None:
+    def _flush_depth(self, wid: int, st: WorkerStats) -> None:
         """Export and clear one worker's queue-depth samples.
 
-        Unlike the one-shot :class:`ThreadScheduler` (which merges once
-        after join), a persistent pool must flush periodically or the
-        sample lists grow without bound over the session's lifetime.
-        Timestamps are pool-epoch relative (seconds since construction).
+        Unlike the one-shot facade (which merges once after join), a
+        persistent pool must flush periodically or the sample lists grow
+        without bound over the session's lifetime.  Timestamps are
+        pool-epoch relative (seconds since construction).
         """
-        samples, st.depth_samples = st.depth_samples, []
         rec = self.recorder
         if rec is not None and getattr(rec, "enabled", False):
-            rec.bulk_samples("scheduler.queue_depth", wid, samples)
-            rec.observe_many("scheduler.queue_depth",
-                             (d for _, d in samples))
+            st.flush_depth(rec, wid)
 
     # -- lifecycle -------------------------------------------------------
     def shutdown(self) -> None:
@@ -776,7 +390,7 @@ class WorkerPool:
         Runs that still have unexecuted tasks when the workers exit are
         *failed* (a :class:`SchedulerError` is recorded and their
         completion hooks run), never silently abandoned — a waiting
-        ``PoolRun.result()`` raises instead of blocking forever.
+        ``EngineRun.result()`` raises instead of blocking forever.
         Idempotent.
         """
         with self._cv:
@@ -802,12 +416,7 @@ class WorkerPool:
         if (rec is not None and getattr(rec, "enabled", False)
                 and self._wstats is not None):
             for w, st in enumerate(self._wstats):
-                rec.add("scheduler.steal.attempts", st.steal_attempts)
-                rec.add("scheduler.steal.successes", st.steal_successes)
-                rec.add("scheduler.park.count", st.parks)
-                rec.add("scheduler.park.time_s", st.park_s)
-                rec.add("scheduler.dep_resolve.time_s", st.dep_s)
-                self._flush_depth(w, st)
+                st.emit(rec, w)
 
     # -- introspection (health endpoint / sampling profiler) -------------
     def current_tasks(self) -> list:
@@ -816,7 +425,12 @@ class WorkerPool:
 
     def queue_depths(self) -> list[int]:
         """Per-worker ready-queue depths (unlocked, approximate)."""
-        return [len(d.heap) for d in self._deques]
+        return [len(d) for d in self._deques]
+
+    @property
+    def idle_intervals(self) -> list[tuple[int, float, float]]:
+        """Absolute park intervals (empty unless ``record_idle``)."""
+        return self._idles or []
 
     @property
     def parked(self) -> int:
@@ -836,3 +450,69 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+
+class ThreadScheduler:
+    """One-shot facade over the work-stealing thread substrate.
+
+    ``run(graph)`` spins up a private :class:`WorkerPool`, submits the
+    graph, joins the workers and returns the trace — the shape of the
+    paper's 1-16 thread scaling study, where every measurement starts
+    and ends with a quiesced machine.  Scheduling semantics (per-worker
+    priority queues, striped dependency counting, stealing on empty,
+    condvar parking, first-failure cancellation) are exactly the pool's;
+    this class only adds the join-and-raise protocol and the idle-time
+    track on the returned trace.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, n_stripes: int = 64,
+                 recorder=None, injector=None, flight=None):
+        if n_workers is None:
+            n_workers = default_thread_workers()
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.n_stripes = max(1, n_stripes)
+        self.recorder = recorder
+        self.injector = injector
+        #: Optional :class:`~repro.obs.live.FlightRecorder` (one bounded
+        #: ring append per executed task / failure).
+        self.flight = flight
+        self.trace: Optional[Trace] = None
+        self._pool: Optional[WorkerPool] = None
+
+    def current_tasks(self) -> list:
+        """Per-worker currently-executing task slots (``None`` = idle)."""
+        pool = self._pool
+        if pool is not None:
+            return pool.current_tasks()
+        return [None] * self.n_workers
+
+    def queue_depths(self) -> list[int]:
+        """Per-worker ready-queue depths (unlocked, approximate)."""
+        pool = self._pool
+        if pool is not None:
+            return pool.queue_depths()
+        return [0] * self.n_workers
+
+    def run(self, graph: TaskGraph) -> Trace:
+        graph.validate_acyclic()
+        pool = WorkerPool(self.n_workers, self.n_stripes,
+                          recorder=self.recorder, flight=self.flight,
+                          worker_names=None, record_idle=True)
+        self._pool = pool
+        try:
+            run = pool.submit(graph, recorder=self.recorder,
+                              injector=self.injector)
+            run.wait()
+        finally:
+            pool.shutdown()
+        if run.errors:
+            # All workers are joined; the queued-but-never-run tasks
+            # were drained as no-ops.  Surface the first failure, typed.
+            raise run.errors[0]
+        trace = run.trace
+        for w, pa, pb in pool.idle_intervals:
+            trace.record_idle(w, pa - run.t0, pb - run.t0)
+        self.trace = trace
+        return trace

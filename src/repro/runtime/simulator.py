@@ -3,9 +3,11 @@
 The paper evaluates on a dual-socket 16-core Xeon E5-2650v2.  Python's GIL
 makes fine-grained *pure-Python* tasks serialize, so wall-clock thread runs
 cannot reproduce the paper's scalability curves faithfully.  Instead, this
-backend executes the *identical task DAG* (same tasks, same dependencies,
-same out-of-order readiness rule) on ``P`` virtual cores and charges each
-task a duration derived from its declared :class:`~repro.runtime.task.TaskCost`:
+substrate executes the *identical task DAG* (same tasks, same dependencies,
+same out-of-order readiness rule — supplied by the shared
+:class:`~repro.runtime.engine.VirtualExecutor` engine loop) on ``P``
+virtual cores and charges each task a duration derived from its declared
+:class:`~repro.runtime.task.TaskCost`:
 
 * compute-bound tasks (``flops`` dominated) progress at the core's flop
   rate — they scale perfectly with cores, like the paper's GEMM/secular
@@ -19,19 +21,18 @@ task a duration derived from its declared :class:`~repro.runtime.task.TaskCost`:
 The functional payload of every task still runs (in virtual-time order),
 so deflation-dependent task costs — evaluated lazily — reflect the real
 matrix, exactly as in the paper where the DAG is matrix-independent but
-task *work* is not.
+task *work* is not.  Because payloads run under the engine, fault
+injection and flight recording work here exactly as on the wall-clock
+substrates (flight timestamps are virtual seconds).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import SchedulerError, wrap_task_error
-from .dag import TaskGraph
-from .scheduler import _ReadyQueue
+from .engine import ReadyQueue, VirtualExecutor
 from .task import Task, TaskCost
-from .trace import Trace, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -116,159 +117,113 @@ class _Running:
         self.t_start = t_start
 
 
-class SimulatedMachine:
-    """Discrete-event executor of a :class:`TaskGraph` on a :class:`Machine`.
+class SimulatedMachine(VirtualExecutor):
+    """Discrete-event substrate: a :class:`TaskGraph` on a :class:`Machine`.
 
     Fluid processor-sharing semantics: on every task start/finish the
     instantaneous rates of all running tasks are recomputed; memory-bound
     tasks on socket *s* each progress at
-    ``min(stream_bw, socket_bw / n_mem(s))`` bytes/s.
+    ``min(stream_bw, socket_bw / n_mem(s))`` bytes/s.  Readiness,
+    payload execution, faults, flight recording and counter emission come
+    from :class:`~repro.runtime.engine.VirtualExecutor`; this class owns
+    only the machine model (socket placement and the fluid clock).
     """
 
     def __init__(self, machine: Machine | None = None,
                  n_workers: Optional[int] = None,
-                 execute: bool = True, recorder=None, injector=None):
-        self.recorder = recorder
-        self.injector = injector
+                 execute: bool = True, recorder=None, injector=None,
+                 flight=None):
         base = machine or Machine()
-        if n_workers is not None and n_workers != base.n_cores:
-            # Re-derive a machine with the requested core count on the
-            # same sockets (cores fill socket 0 first, like taskset).
-            ns = base.n_sockets if n_workers >= base.cores_per_socket else 1
-            # Keep per-socket geometry: workers are mapped to sockets by
-            # the *original* cores_per_socket; we keep base geometry and
-            # just use fewer workers.
-            self.machine = base
-            self.n_workers = n_workers
-        else:
-            self.machine = base
-            self.n_workers = base.n_cores
-        self.execute = execute
-        self.trace: Optional[Trace] = None
+        self.machine = base
+        # Fewer workers than cores keeps the base socket geometry and
+        # just uses fewer of them (like a taskset-restricted run).
+        self.n_workers = n_workers if (n_workers is not None
+                                       and n_workers != base.n_cores) \
+            else base.n_cores
+        super().__init__(execute=execute, recorder=recorder,
+                         injector=injector, flight=flight)
 
-    # ------------------------------------------------------------------
-    def run(self, graph: TaskGraph) -> Trace:
+    # -- substrate hooks -------------------------------------------------
+    def _virtual_workers(self) -> int:
+        return self.n_workers
+
+    def _setup(self, graph) -> None:
+        self._free = list(range(self.n_workers - 1, -1, -1))
+        self._running: list[_Running] = []
+
+    def _has_running(self) -> bool:
+        return bool(self._running)
+
+    def _dispatch(self, ready: ReadyQueue) -> None:
+        # Start as many ready tasks as there are free workers.  Pick
+        # the free worker on the least-loaded socket (OS schedulers and
+        # work stealing spread threads across sockets, which matters
+        # for the bandwidth model).
         m = self.machine
-        graph.validate_acyclic()
-        trace = Trace(n_workers=self.n_workers)
-        ready = _ReadyQueue()
-        pending = {t.uid: t.n_deps for t in graph.tasks}
-        for t in graph.tasks:
-            if pending[t.uid] == 0:
-                ready.push(t)
-
-        free_workers = list(range(self.n_workers - 1, -1, -1))
-        running: list[_Running] = []
-        now = 0.0
-        n_done = 0
-        total = len(graph.tasks)
-        rec = self.recorder
-        observe = rec is not None and getattr(rec, "enabled", False)
-        #: (virtual t, ready-queue depth) samples for the counter track.
-        depth_samples: list[tuple[float, float]] = [] if observe else None
-
-        def rates() -> dict[int, float]:
-            """Instantaneous progress rate for each running task (by uid)."""
-            mem_per_socket: dict[int, int] = {}
+        free = self._free
+        running = self._running
+        while len(ready) and free:
+            task, _ = ready.pop()
+            busy: dict[int, int] = {}
             for r in running:
-                if r.kind == "bytes":
-                    mem_per_socket[r.socket] = mem_per_socket.get(r.socket, 0) + 1
-            out: dict[int, float] = {}
-            for r in running:
-                if r.kind == "bytes":
-                    share = m.socket_bw / mem_per_socket[r.socket]
-                    out[r.task.uid] = min(m.stream_bw, share)
-                else:
-                    out[r.task.uid] = m.flop_rate(r.task.name)
-            return out
+                busy[r.socket] = busy.get(r.socket, 0) + 1
+            free.sort(key=lambda w: (busy.get(m.socket_of(w), 0), w),
+                      reverse=True)
+            worker = free.pop()
+            self._exec_payload(task)  # functional effect; timing continues
+            cost = task.resolved_cost()
+            kind, work, over = m.work_of(cost, task.name)
+            running.append(_Running(task, worker, m.socket_of(worker),
+                                    kind, work, over, self._now))
 
-        while n_done < total:
-            # Start as many ready tasks as there are free workers.  Pick
-            # the free worker on the least-loaded socket (OS schedulers and
-            # work stealing spread threads across sockets, which matters
-            # for the bandwidth model).
-            while len(ready) and free_workers:
-                task = ready.pop()
-                busy: dict[int, int] = {}
-                for r in running:
-                    busy[r.socket] = busy.get(r.socket, 0) + 1
-                free_workers.sort(
-                    key=lambda w: (busy.get(m.socket_of(w), 0), w),
-                    reverse=True)
-                worker = free_workers.pop()
-                if self.execute:
-                    try:
-                        if self.injector is not None:
-                            self.injector.maybe_fail(task)
-                        task.run()
-                    except Exception as exc:
-                        # First failure cancels the simulation; the not-
-                        # yet-started tasks are dropped.
-                        if observe:
-                            rec.add("scheduler.failures")
-                            rec.add("scheduler.cancelled_tasks",
-                                    total - n_done - 1)
-                        raise wrap_task_error(task, exc) from exc
-                task.mark_done()  # functional effect done; timing continues
-                cost = task.resolved_cost()
-                kind, work, over = m.work_of(cost, task.name)
-                running.append(_Running(task, worker, m.socket_of(worker),
-                                        kind, work, over, now))
+    def _rates(self) -> dict[int, float]:
+        """Instantaneous progress rate for each running task (by uid)."""
+        m = self.machine
+        mem_per_socket: dict[int, int] = {}
+        for r in self._running:
+            if r.kind == "bytes":
+                mem_per_socket[r.socket] = mem_per_socket.get(r.socket, 0) + 1
+        out: dict[int, float] = {}
+        for r in self._running:
+            if r.kind == "bytes":
+                share = m.socket_bw / mem_per_socket[r.socket]
+                out[r.task.uid] = min(m.stream_bw, share)
+            else:
+                out[r.task.uid] = m.flop_rate(r.task.name)
+        return out
 
-            if observe:
-                depth_samples.append((now, float(len(ready))))
-
-            if not running:
-                if n_done < total:
-                    raise SchedulerError(
-                        "deadlock: no running tasks but graph incomplete")
-                break
-
-            # Advance to the next completion under current rates.
-            rt = rates()
-            dt = min((r.overhead_left +
-                      (r.remaining / rt[r.task.uid] if r.remaining else 0.0))
-                     for r in running)
-            now += dt
-            still: list[_Running] = []
-            finished: list[_Running] = []
-            for r in running:
-                d = dt
-                if r.overhead_left > 0.0:
-                    used = min(r.overhead_left, d)
-                    r.overhead_left -= used
-                    d -= used
-                if d > 0.0 and r.remaining > 0.0:
-                    r.remaining -= rt[r.task.uid] * d
-                # Work units are flops/bytes, so 1e-3 of either is nothing.
-                if r.overhead_left <= 1e-18 and r.remaining <= 1e-3:
-                    finished.append(r)
-                else:
-                    still.append(r)
-            if not finished:
-                # Guard against FP stagnation: force the closest task out.
-                r = min(running, key=lambda r: r.remaining + r.overhead_left)
-                r.remaining = 0.0
-                r.overhead_left = 0.0
-                finished = [r]
-                still = [x for x in running if x is not r]
-            running = still
-            for r in finished:
-                trace.record(TraceEvent(r.task.uid, r.task.name, r.worker,
-                                        r.t_start, now, r.task.tag,
-                                        r.task.priority))
-                free_workers.append(r.worker)
-                for s in r.task.successors:
-                    pending[s.uid] -= 1
-                    if pending[s.uid] == 0:
-                        ready.push(s)
-                n_done += 1
-            free_workers.sort(reverse=True)
-
-        if observe:
-            rec.add("scheduler.tasks", total)
-            rec.bulk_samples("scheduler.ready_depth", 0, depth_samples)
-            rec.observe_many("scheduler.ready_depth",
-                             (d for _, d in depth_samples))
-        self.trace = trace
-        return trace
+    def _advance(self) -> None:
+        # Advance to the next completion under current rates.
+        running = self._running
+        rt = self._rates()
+        dt = min((r.overhead_left +
+                  (r.remaining / rt[r.task.uid] if r.remaining else 0.0))
+                 for r in running)
+        self._now += dt
+        still: list[_Running] = []
+        finished: list[_Running] = []
+        for r in running:
+            d = dt
+            if r.overhead_left > 0.0:
+                used = min(r.overhead_left, d)
+                r.overhead_left -= used
+                d -= used
+            if d > 0.0 and r.remaining > 0.0:
+                r.remaining -= rt[r.task.uid] * d
+            # Work units are flops/bytes, so 1e-3 of either is nothing.
+            if r.overhead_left <= 1e-18 and r.remaining <= 1e-3:
+                finished.append(r)
+            else:
+                still.append(r)
+        if not finished:
+            # Guard against FP stagnation: force the closest task out.
+            r = min(running, key=lambda r: r.remaining + r.overhead_left)
+            r.remaining = 0.0
+            r.overhead_left = 0.0
+            finished = [r]
+            still = [x for x in running if x is not r]
+        self._running = still
+        for r in finished:
+            self._complete_task(r.task, r.worker, r.t_start, self._now)
+            self._free.append(r.worker)
+        self._free.sort(reverse=True)
